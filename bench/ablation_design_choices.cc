@@ -1,0 +1,71 @@
+// Ablations over HOSR's design choices called out in the paper and in
+// DESIGN.md:
+//  * Eq. 11 decay factor: 1/sqrt(|I_i|) vs 1/sqrt(|I_i||A_j|) (the paper
+//    found the former better);
+//  * the item-implicit term itself (on/off);
+//  * activation: tanh (Eq. 2) vs ReLU;
+//  * self-connections in the propagation operator (Eq. 6's +I) on/off.
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "core/hosr.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hosr;
+  const bench::BenchOptions options =
+      bench::BenchOptions::FromFlags(argc, argv);
+
+  std::printf("=== Ablation: HOSR design choices (Yelp-like) ===\n");
+  std::printf("(HOSR-3 attention, d=%u, %u epochs)\n\n", options.dim,
+              options.epochs);
+
+  const auto dataset = bench::MakeYelpLike(options);
+  util::Table table({"Variant", "R@20", "MAP@20"});
+
+  struct Variant {
+    const char* name;
+    void (*apply)(core::Hosr::Config*);
+  };
+  const Variant variants[] = {
+      {"paper default (tanh, +I, item term, 1/sqrt|I_i|)",
+       [](core::Hosr::Config*) {}},
+      {"decay 1/sqrt(|I_i||A_j|)",
+       [](core::Hosr::Config* c) {
+         c->implicit_decay = core::ImplicitDecay::kSqrtBoth;
+       }},
+      {"no item-implicit term",
+       [](core::Hosr::Config* c) { c->item_implicit_term = false; }},
+      {"ReLU activation",
+       [](core::Hosr::Config* c) {
+         c->activation = core::Activation::kRelu;
+       }},
+      {"no self-connections",
+       [](core::Hosr::Config* c) { c->self_connections = false; }},
+      {"no graph dropout",
+       [](core::Hosr::Config* c) { c->graph_dropout = 0.0f; }},
+      {"simplified propagation (no W, linear)",
+       [](core::Hosr::Config* c) {
+         c->use_layer_weights = false;
+         c->use_activation = false;
+       }},
+  };
+
+  for (const Variant& variant : variants) {
+    core::Hosr::Config config;
+    config.embedding_dim = options.dim;
+    config.num_layers = 3;
+    config.graph_dropout = 0.2f;
+    config.seed = options.seed;
+    variant.apply(&config);
+    core::Hosr model(dataset.split.train, config);
+    const auto result = bench::TrainModelBest(&model, dataset, options);
+    table.AddRow({variant.name, util::Table::Cell(result.recall),
+                  util::Table::Cell(result.map)});
+    std::fprintf(stderr, "  %s: R@20=%.4f\n", variant.name, result.recall);
+  }
+
+  std::printf("%s\n", table.ToText().c_str());
+  bench::MaybeWriteCsv(options, "ablation_design_choices", table.ToCsv());
+  return 0;
+}

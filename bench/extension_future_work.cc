@@ -1,0 +1,90 @@
+// Evaluates the paper's Sec. 5 future-work directions, implemented in this
+// repository as extensions:
+//  1. HOSR-Joint — jointly propagate user AND item embeddings over the
+//     unified social+interaction graph;
+//  2. HOSR-GAT — learned per-edge attention weights on user-user
+//     connections (close vs normal friends) instead of fixed decay;
+// plus a LightGCN-style simplified propagation (no layer weights, no
+// nonlinearity) as a design probe, all against the published HOSR.
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "core/hosr.h"
+#include "core/hosr_gat.h"
+#include "core/hosr_joint.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hosr;
+  const bench::BenchOptions options =
+      bench::BenchOptions::FromFlags(argc, argv);
+
+  std::printf("=== Extensions: the paper's future-work directions ===\n");
+  std::printf("(d=%u, up to %u epochs with best-snapshot selection)\n\n",
+              options.dim, options.epochs);
+
+  const auto datasets = bench::MakeBothDatasets(options);
+  util::Table table({"Dataset", "Model", "R@20", "MAP@20"});
+
+  for (const auto& dataset : datasets) {
+    {
+      core::Hosr::Config config;
+      config.embedding_dim = options.dim;
+      config.num_layers = 3;
+      config.seed = options.seed;
+      core::Hosr model(dataset.split.train, config);
+      const auto result = bench::TrainModelBest(&model, dataset, options);
+      table.AddRow({dataset.label, "HOSR (paper)",
+                    util::Table::Cell(result.recall),
+                    util::Table::Cell(result.map)});
+      std::fprintf(stderr, "  [%s] HOSR: R@20=%.4f\n", dataset.label.c_str(),
+                   result.recall);
+    }
+    {
+      core::Hosr::Config config;
+      config.embedding_dim = options.dim;
+      config.num_layers = 3;
+      config.use_layer_weights = false;
+      config.use_activation = false;
+      config.seed = options.seed;
+      core::Hosr model(dataset.split.train, config);
+      const auto result = bench::TrainModelBest(&model, dataset, options);
+      table.AddRow({dataset.label, "HOSR simplified (no W, linear)",
+                    util::Table::Cell(result.recall),
+                    util::Table::Cell(result.map)});
+      std::fprintf(stderr, "  [%s] simplified: R@20=%.4f\n",
+                   dataset.label.c_str(), result.recall);
+    }
+    {
+      core::HosrJoint::Config config;
+      config.embedding_dim = options.dim;
+      config.num_layers = 3;
+      config.seed = options.seed;
+      core::HosrJoint model(dataset.split.train, config);
+      const auto result = bench::TrainModelBest(&model, dataset, options);
+      table.AddRow({dataset.label, "HOSR-Joint (future work 1)",
+                    util::Table::Cell(result.recall),
+                    util::Table::Cell(result.map)});
+      std::fprintf(stderr, "  [%s] HOSR-Joint: R@20=%.4f\n",
+                   dataset.label.c_str(), result.recall);
+    }
+    {
+      core::HosrGat::Config config;
+      config.embedding_dim = options.dim;
+      config.num_layers = 3;
+      config.seed = options.seed;
+      core::HosrGat model(dataset.split.train, config);
+      const auto result = bench::TrainModelBest(&model, dataset, options);
+      table.AddRow({dataset.label, "HOSR-GAT (future work 2)",
+                    util::Table::Cell(result.recall),
+                    util::Table::Cell(result.map)});
+      std::fprintf(stderr, "  [%s] HOSR-GAT: R@20=%.4f\n",
+                   dataset.label.c_str(), result.recall);
+    }
+  }
+
+  std::printf("%s\n", table.ToText().c_str());
+  bench::MaybeWriteCsv(options, "extension_future_work", table.ToCsv());
+  return 0;
+}

@@ -1,0 +1,187 @@
+// Microbenchmarks backing the Sec. 2.5 complexity analysis:
+//  * SpMM cost is linear in nnz(L) and in d (the k|L|d^2 propagation term);
+//  * one HOSR training step scales linearly in the layer count k;
+//  * a HOSR epoch is within a small constant of a TrustSVD epoch
+//    ("the complexity is compatible to that of TrustSVD").
+#include <benchmark/benchmark.h>
+
+#include "core/hosr.h"
+#include "data/sampler.h"
+#include "data/synthetic.h"
+#include "graph/laplacian.h"
+#include "graph/spmm.h"
+#include "models/trust_svd.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace hosr;
+
+const data::Dataset& BenchDataset() {
+  static const data::Dataset* dataset = [] {
+    auto result =
+        data::GenerateSynthetic(data::SyntheticConfig::YelpLike(0.08));
+    HOSR_CHECK(result.ok());
+    return new data::Dataset(std::move(result).value());
+  }();
+  return *dataset;
+}
+
+// --- SpMM scaling in nnz -----------------------------------------------------
+
+void BM_SpmmScalingNnz(benchmark::State& state) {
+  const auto edges_per_node = static_cast<uint32_t>(state.range(0));
+  const uint32_t n = 4000;
+  util::Rng rng(1);
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t i = 1; i < n; ++i) {
+    for (uint32_t e = 0; e < edges_per_node; ++e) {
+      edges.emplace_back(i, static_cast<uint32_t>(rng.UniformInt(i)));
+    }
+  }
+  auto graph = graph::SocialGraph::FromEdges(n, edges);
+  HOSR_CHECK(graph.ok());
+  const graph::CsrMatrix laplacian =
+      graph::NormalizedLaplacian(graph->adjacency());
+  tensor::Matrix dense(n, 10);
+  tensor::GaussianInit(&dense, 1.0f, &rng);
+  tensor::Matrix out(n, 10);
+  for (auto _ : state) {
+    graph::Spmm(laplacian, dense, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["nnz"] = static_cast<double>(laplacian.nnz());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(laplacian.nnz()) * 10);
+}
+BENCHMARK(BM_SpmmScalingNnz)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// --- SpMM scaling in d --------------------------------------------------------
+
+void BM_SpmmScalingDim(benchmark::State& state) {
+  const auto d = static_cast<size_t>(state.range(0));
+  const data::Dataset& dataset = BenchDataset();
+  const graph::CsrMatrix laplacian =
+      graph::NormalizedLaplacian(dataset.social.adjacency());
+  util::Rng rng(2);
+  tensor::Matrix dense(dataset.num_users(), d);
+  tensor::GaussianInit(&dense, 1.0f, &rng);
+  tensor::Matrix out(dataset.num_users(), d);
+  for (auto _ : state) {
+    graph::Spmm(laplacian, dense, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(laplacian.nnz() * d));
+}
+BENCHMARK(BM_SpmmScalingDim)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+// --- GEMM baseline -------------------------------------------------------------
+
+void BM_GemmEmbeddingTransform(benchmark::State& state) {
+  const auto d = static_cast<size_t>(state.range(0));
+  util::Rng rng(3);
+  tensor::Matrix a(BenchDataset().num_users(), d), w(d, d);
+  tensor::GaussianInit(&a, 1.0f, &rng);
+  tensor::GaussianInit(&w, 1.0f, &rng);
+  tensor::Matrix out(a.rows(), d);
+  for (auto _ : state) {
+    tensor::Gemm(a, false, w, false, 1.0f, 0.0f, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.rows() * d * d));
+}
+BENCHMARK(BM_GemmEmbeddingTransform)->Arg(5)->Arg(10)->Arg(20);
+
+// --- One HOSR training step vs layer count ------------------------------------
+
+void BM_HosrStepVsLayers(benchmark::State& state) {
+  const auto layers = static_cast<uint32_t>(state.range(0));
+  const data::Dataset& dataset = BenchDataset();
+  core::Hosr::Config config;
+  config.embedding_dim = 10;
+  config.num_layers = layers;
+  config.graph_dropout = 0.0f;
+  config.seed = 4;
+  core::Hosr model(dataset, config);
+  data::BprSampler sampler(&dataset.interactions, 5);
+  util::Rng rng(6);
+  for (auto _ : state) {
+    const data::BprBatch batch = sampler.SampleBatch(512);
+    autograd::Tape tape;
+    autograd::Value loss = model.BuildLoss(&tape, batch, &rng);
+    model.params()->ZeroGrad();
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(model.params()->at(0)->grad.data());
+  }
+}
+BENCHMARK(BM_HosrStepVsLayers)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+// --- HOSR vs TrustSVD epoch cost (Sec. 2.5 comparability claim) -----------------
+
+void BM_TrainStepTrustSvd(benchmark::State& state) {
+  const data::Dataset& dataset = BenchDataset();
+  models::TrustSvd::Config config;
+  config.embedding_dim = 10;
+  config.seed = 4;
+  models::TrustSvd model(dataset, config);
+  data::BprSampler sampler(&dataset.interactions, 5);
+  util::Rng rng(6);
+  for (auto _ : state) {
+    const data::BprBatch batch = sampler.SampleBatch(512);
+    autograd::Tape tape;
+    autograd::Value loss = model.BuildLoss(&tape, batch, &rng);
+    model.params()->ZeroGrad();
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(model.params()->at(0)->grad.data());
+  }
+}
+BENCHMARK(BM_TrainStepTrustSvd);
+
+void BM_TrainStepHosr3(benchmark::State& state) {
+  const data::Dataset& dataset = BenchDataset();
+  core::Hosr::Config config;
+  config.embedding_dim = 10;
+  config.num_layers = 3;
+  config.graph_dropout = 0.0f;
+  config.seed = 4;
+  core::Hosr model(dataset, config);
+  data::BprSampler sampler(&dataset.interactions, 5);
+  util::Rng rng(6);
+  for (auto _ : state) {
+    const data::BprBatch batch = sampler.SampleBatch(512);
+    autograd::Tape tape;
+    autograd::Value loss = model.BuildLoss(&tape, batch, &rng);
+    model.params()->ZeroGrad();
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(model.params()->at(0)->grad.data());
+  }
+}
+BENCHMARK(BM_TrainStepHosr3);
+
+// --- Full-score inference (the |Y|d prediction term) ----------------------------
+
+void BM_HosrScoreAllItems(benchmark::State& state) {
+  const data::Dataset& dataset = BenchDataset();
+  core::Hosr::Config config;
+  config.embedding_dim = 10;
+  config.num_layers = 3;
+  config.seed = 4;
+  core::Hosr model(dataset, config);
+  std::vector<uint32_t> users(256);
+  for (uint32_t i = 0; i < users.size(); ++i) users[i] = i;
+  for (auto _ : state) {
+    const tensor::Matrix scores = model.ScoreAllItems(users);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(users.size()) *
+                          dataset.num_items());
+}
+BENCHMARK(BM_HosrScoreAllItems);
+
+}  // namespace
+
+BENCHMARK_MAIN();

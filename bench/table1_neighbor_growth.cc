@@ -1,0 +1,70 @@
+// Reproduces Table 1: network density and average number of neighbors per
+// user at order sizes 1..3 for the Yelp-like and Douban-like datasets.
+// The paper's phenomenon: neighbor counts explode with order (e.g. Douban
+// third-order reaches ~500x the first-order count), motivating propagation
+// over materialized high-order edges.
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "graph/stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+// Paper values for reference printing (Table 1).
+struct PaperRow {
+  const char* dataset;
+  const char* order;
+  double density;
+  double neighbors;
+};
+constexpr PaperRow kPaperRows[] = {
+    {"Yelp", "first", 0.0015, 16},    {"Yelp", "second", 0.0914, 969},
+    {"Yelp", "third", 0.5716, 6048},  {"Douban", "first", 0.0011, 14},
+    {"Douban", "second", 0.1045, 1332}, {"Douban", "third", 0.5815, 7413},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hosr;
+  const bench::BenchOptions options =
+      bench::BenchOptions::FromFlags(argc, argv);
+
+  std::printf("=== Table 1: density & avg #neighbors/user per order ===\n");
+  std::printf("(scale %.2f of paper-size graphs; shapes, not absolute "
+              "counts, are the reproduction target)\n\n",
+              options.scale);
+
+  util::Table table({"Dataset", "Order", "Density", "#Neighbors/User",
+                     "Growth vs 1st", "Paper density", "Paper #nbrs"});
+  const auto datasets = bench::MakeBothDatasets(options);
+  for (const auto& dataset : datasets) {
+    const auto stats = graph::KOrderStats(dataset.full.social, 3);
+    const char* names[] = {"first", "second", "third"};
+    for (size_t k = 0; k < stats.size(); ++k) {
+      const PaperRow* paper = nullptr;
+      for (const auto& row : kPaperRows) {
+        const bool dataset_match =
+            (dataset.label == "Yelp-like" &&
+             std::string(row.dataset) == "Yelp") ||
+            (dataset.label == "Douban-like" &&
+             std::string(row.dataset) == "Douban");
+        if (dataset_match && std::string(row.order) == names[k]) paper = &row;
+      }
+      table.AddRow({dataset.label, names[k],
+                    util::StrFormat("%.2f%%", stats[k].density * 100),
+                    util::Table::Cell(stats[k].avg_neighbors_per_user, 1),
+                    util::StrFormat(
+                        "%.0fx", stats[k].avg_neighbors_per_user /
+                                     stats[0].avg_neighbors_per_user),
+                    paper ? util::StrFormat("%.2f%%", paper->density * 100)
+                          : "-",
+                    paper ? util::Table::Cell(paper->neighbors, 0) : "-"});
+    }
+  }
+  std::printf("%s\n", table.ToText().c_str());
+  bench::MaybeWriteCsv(options, "table1_neighbor_growth", table.ToCsv());
+  return 0;
+}

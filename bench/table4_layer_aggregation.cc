@@ -1,0 +1,76 @@
+// Reproduces Table 4: the effect of layer count (HOSR-1..HOSR-4) crossed
+// with the layer-aggregation strategy (base = last layer only, average,
+// attention).
+//
+// Reproduction target (shape): the base model peaks at ~2 layers and then
+// degrades (over-smoothing), while average/attention tolerate more layers;
+// attention is the best aggregate overall.
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "core/hosr.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+const char* AggregationName(hosr::core::LayerAggregation aggregation) {
+  switch (aggregation) {
+    case hosr::core::LayerAggregation::kLast:
+      return "Base";
+    case hosr::core::LayerAggregation::kAverage:
+      return "Average";
+    case hosr::core::LayerAggregation::kAttention:
+      return "Attention";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hosr;
+  const bench::BenchOptions options =
+      bench::BenchOptions::FromFlags(argc, argv);
+
+  std::printf("=== Table 4: layer count x aggregation strategy ===\n");
+  std::printf("(HOSR-k, k=1..4; attention/average only meaningful for "
+              "k>1; d=%u, %u epochs)\n\n", options.dim, options.epochs);
+
+  const auto datasets = bench::MakeBothDatasets(options);
+  util::Table table(
+      {"Dataset", "Model", "Aggregation", "R@20", "MAP@20"});
+
+  for (const auto& dataset : datasets) {
+    for (uint32_t layers = 1; layers <= 4; ++layers) {
+      for (const auto aggregation :
+           {core::LayerAggregation::kLast, core::LayerAggregation::kAverage,
+            core::LayerAggregation::kAttention}) {
+        if (layers == 1 && aggregation != core::LayerAggregation::kLast) {
+          continue;  // aggregation needs >1 layer (as in the paper)
+        }
+        core::Hosr::Config config;
+        config.embedding_dim = options.dim;
+        config.num_layers = layers;
+        config.aggregation = aggregation;
+        config.graph_dropout = 0.2f;
+        config.seed = options.seed;
+        core::Hosr model(dataset.split.train, config);
+        const auto result = bench::TrainModelBest(&model, dataset, options);
+        table.AddRow({dataset.label, util::StrFormat("HOSR-%u", layers),
+                      AggregationName(aggregation),
+                      util::Table::Cell(result.recall),
+                      util::Table::Cell(result.map)});
+        std::fprintf(stderr, "  [%s] HOSR-%u %s: R@20=%.4f MAP@20=%.4f\n",
+                     dataset.label.c_str(), layers,
+                     AggregationName(aggregation), result.recall, result.map);
+      }
+    }
+  }
+
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf("Paper shape: Base peaks at HOSR-2 (over-smoothing beyond); "
+              "Attention peaks at HOSR-3/4 and is the best aggregate.\n");
+  bench::MaybeWriteCsv(options, "table4_layer_aggregation", table.ToCsv());
+  return 0;
+}

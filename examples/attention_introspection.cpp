@@ -1,0 +1,96 @@
+// Scenario: model introspection. HOSR's attention layer (Eqs. 8-10)
+// assigns each user a personalized weight per propagation depth; this
+// example trains HOSR-3 and prints how those weights shift between
+// socially sparse users (who need distant, high-order information) and
+// well-connected hubs (for whom deep propagation mostly adds noise) —
+// the mechanism behind the paper's Fig. 7.
+//
+// It also saves the trained user embeddings to disk and reloads them,
+// demonstrating the checkpointing API.
+//
+// Build & run:  ./build/examples/attention_introspection
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/hosr.h"
+#include "data/synthetic.h"
+#include "models/trainer.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+
+int main() {
+  using namespace hosr;
+
+  auto dataset_or =
+      data::GenerateSynthetic(data::SyntheticConfig::YelpLike(0.05));
+  if (!dataset_or.ok()) return 1;
+  const data::Dataset& dataset = *dataset_or;
+  util::Rng split_rng(3);
+  auto split_or = data::SplitDataset(dataset, 0.2, &split_rng);
+  if (!split_or.ok()) return 1;
+
+  core::Hosr::Config config;
+  config.embedding_dim = 10;
+  config.num_layers = 3;
+  core::Hosr model(split_or->train, config);
+
+  models::TrainConfig train_config;
+  train_config.epochs = 30;
+  train_config.batch_size = 256;
+  train_config.learning_rate = 0.0015f;
+  train_config.weight_decay = 1e-5f;
+  models::BprTrainer trainer(&model, &split_or->train.interactions,
+                             train_config);
+  trainer.Train();
+
+  // Per-user attention weights over the 3 layers.
+  const tensor::Matrix weights = model.AttentionWeights();
+
+  // Users sorted by social degree; compare bottom and top deciles.
+  std::vector<std::pair<uint32_t, uint32_t>> by_degree;  // (degree, user)
+  for (uint32_t u = 0; u < dataset.num_users(); ++u) {
+    by_degree.emplace_back(dataset.social.Degree(u), u);
+  }
+  std::sort(by_degree.begin(), by_degree.end());
+  const size_t decile = std::max<size_t>(1, by_degree.size() / 10);
+
+  auto average_weights = [&](size_t begin, size_t end) {
+    std::vector<double> avg(3, 0.0);
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t l = 0; l < 3; ++l) avg[l] += weights(by_degree[i].second, l);
+    }
+    for (auto& w : avg) w /= static_cast<double>(end - begin);
+    return avg;
+  };
+  const auto sparse_avg = average_weights(0, decile);
+  const auto hub_avg =
+      average_weights(by_degree.size() - decile, by_degree.size());
+
+  std::printf("== HOSR-3 attention weights by social connectivity ==\n\n");
+  std::printf("%-26s layer1  layer2  layer3\n", "");
+  std::printf("%-26s %.4f  %.4f  %.4f  (degree <= %u)\n",
+              "sparsest decile", sparse_avg[0], sparse_avg[1], sparse_avg[2],
+              by_degree[decile - 1].first);
+  std::printf("%-26s %.4f  %.4f  %.4f  (degree >= %u)\n",
+              "best-connected decile", hub_avg[0], hub_avg[1], hub_avg[2],
+              by_degree[by_degree.size() - decile].first);
+  std::printf("\nsparse users lean harder on the deepest layer: "
+              "%.3f vs %.3f\n\n", sparse_avg[2], hub_avg[2]);
+
+  // Checkpoint the final user embeddings and verify the round trip.
+  const tensor::Matrix embeddings = model.FinalUserEmbeddings();
+  const std::string path = "/tmp/hosr_user_embeddings.bin";
+  if (auto status = tensor::SaveMatrix(embeddings, path); !status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto reloaded = tensor::LoadMatrix(path);
+  if (!reloaded.ok() || !tensor::AllClose(*reloaded, embeddings, 0.0)) {
+    std::fprintf(stderr, "checkpoint round trip failed\n");
+    return 1;
+  }
+  std::printf("saved and verified %zux%zu user embeddings at %s\n",
+              embeddings.rows(), embeddings.cols(), path.c_str());
+  return 0;
+}

@@ -1,0 +1,9 @@
+#!/bin/bash
+# Runs every bench binary, echoing a header per binary.
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ] && [[ "$b" != *.a ]]; then
+    echo "########## $(basename "$b") ##########"
+    "$b" "$@" 2>&1
+    echo
+  fi
+done

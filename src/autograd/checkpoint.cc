@@ -1,0 +1,104 @@
+#include "autograd/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "tensor/serialize.h"
+#include "util/string_util.h"
+
+namespace hosr::autograd {
+
+namespace {
+constexpr uint32_t kCheckpointMagic = 0x48435054;  // "HCPT"
+}  // namespace
+
+ParamSnapshot ParamSnapshot::Capture(const ParamStore& store) {
+  ParamSnapshot snapshot;
+  snapshot.values_.reserve(store.size());
+  for (size_t i = 0; i < store.size(); ++i) {
+    snapshot.values_.push_back(store.at(i)->value);
+  }
+  return snapshot;
+}
+
+void ParamSnapshot::Restore(ParamStore* store) const {
+  HOSR_CHECK(store->size() == values_.size())
+      << "store has " << store->size() << " params, snapshot has "
+      << values_.size();
+  for (size_t i = 0; i < values_.size(); ++i) {
+    Param* p = store->at(i);
+    HOSR_CHECK(p->value.SameShape(values_[i]))
+        << "shape mismatch restoring " << p->name;
+    p->value = values_[i];
+  }
+}
+
+util::Status SaveCheckpoint(const ParamStore& store,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::Status::IoError("cannot open for writing: " + path);
+  const uint32_t magic = kCheckpointMagic;
+  const uint64_t count = store.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (size_t i = 0; i < store.size(); ++i) {
+    const Param* p = store.at(i);
+    const uint64_t name_len = p->name.size();
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p->name.data(), static_cast<std::streamsize>(name_len));
+    HOSR_RETURN_IF_ERROR(tensor::WriteMatrix(p->value, &out));
+  }
+  if (!out) return util::Status::IoError("checkpoint write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Status LoadCheckpoint(const std::string& path, ParamStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IoError("cannot open for reading: " + path);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kCheckpointMagic) {
+    return util::Status::InvalidArgument("not a HOSR checkpoint: " + path);
+  }
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) return util::Status::IoError("checkpoint header read failed");
+
+  std::map<std::string, tensor::Matrix> loaded;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in || name_len > 4096) {
+      return util::Status::InvalidArgument("bad parameter name length");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!in) return util::Status::IoError("parameter name read failed");
+    HOSR_ASSIGN_OR_RETURN(tensor::Matrix value, tensor::ReadMatrix(&in));
+    loaded.emplace(std::move(name), std::move(value));
+  }
+
+  // Validate everything before mutating the store.
+  for (size_t i = 0; i < store->size(); ++i) {
+    Param* p = store->at(i);
+    const auto it = loaded.find(p->name);
+    if (it == loaded.end()) {
+      return util::Status::NotFound("checkpoint missing parameter: " +
+                                    p->name);
+    }
+    if (!it->second.SameShape(p->value)) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "shape mismatch for %s: checkpoint %zux%zu vs model %zux%zu",
+          p->name.c_str(), it->second.rows(), it->second.cols(),
+          p->value.rows(), p->value.cols()));
+    }
+  }
+  for (size_t i = 0; i < store->size(); ++i) {
+    Param* p = store->at(i);
+    p->value = loaded.at(p->name);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace hosr::autograd

@@ -1,0 +1,41 @@
+#ifndef HOSR_AUTOGRAD_CHECKPOINT_H_
+#define HOSR_AUTOGRAD_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/param.h"
+#include "tensor/matrix.h"
+#include "util/statusor.h"
+
+namespace hosr::autograd {
+
+// In-memory snapshot of every parameter's values (not gradients).
+// Used by early stopping to restore the best epoch's weights.
+class ParamSnapshot {
+ public:
+  ParamSnapshot() = default;
+
+  // Captures the current values of `store`.
+  static ParamSnapshot Capture(const ParamStore& store);
+
+  // Writes the captured values back. The store must have the same number,
+  // order, and shapes of parameters as at capture time.
+  void Restore(ParamStore* store) const;
+
+  bool empty() const { return values_.empty(); }
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<tensor::Matrix> values_;
+};
+
+// On-disk checkpoint of a ParamStore: named matrices in a single binary
+// file. Loading matches parameters by name and validates shapes, so a
+// checkpoint survives reordering but not renaming.
+util::Status SaveCheckpoint(const ParamStore& store, const std::string& path);
+util::Status LoadCheckpoint(const std::string& path, ParamStore* store);
+
+}  // namespace hosr::autograd
+
+#endif  // HOSR_AUTOGRAD_CHECKPOINT_H_

@@ -1,0 +1,35 @@
+#ifndef HOSR_AUTOGRAD_GRADCHECK_H_
+#define HOSR_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/param.h"
+#include "autograd/tape.h"
+
+namespace hosr::autograd {
+
+struct GradCheckResult {
+  bool passed = true;
+  // Worst relative error observed across all checked entries.
+  double max_relative_error = 0.0;
+  std::string worst_entry;  // "param[r,c]" of the worst error
+};
+
+// Verifies analytic gradients against central finite differences.
+//
+// `build_loss` must construct a fresh forward graph on the given tape from
+// the current parameter values and return the scalar loss Value. It must be
+// deterministic (same params -> same loss).
+//
+// For every parameter in `params`, every entry is perturbed by +/- eps and
+// the numeric gradient compared to the analytic one. Entries where both
+// gradients are below `zero_tol` are accepted outright.
+GradCheckResult CheckGradients(
+    const std::function<Value(Tape*)>& build_loss,
+    const std::vector<Param*>& params, double eps = 1e-3,
+    double tolerance = 5e-2, double zero_tol = 1e-7);
+
+}  // namespace hosr::autograd
+
+#endif  // HOSR_AUTOGRAD_GRADCHECK_H_

@@ -1,0 +1,143 @@
+#ifndef HOSR_CORE_HOSR_H_
+#define HOSR_CORE_HOSR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/csr.h"
+#include "models/model.h"
+#include "util/statusor.h"
+
+namespace hosr::core {
+
+// How the outputs of the k GCN layers are combined into the final user
+// embedding (Table 4's model variants).
+enum class LayerAggregation {
+  kLast,       // "base": use u^(k) only (Eq. 7)
+  kAverage,    // "average": equal-weight mean of u^(1..k)
+  kAttention,  // "attention": learned per-user weights (Eqs. 8-10)
+};
+
+// Nonlinearity applied after each propagation layer. The paper uses tanh
+// (Eq. 2); ReLU is provided for the activation ablation.
+enum class Activation { kTanh, kRelu };
+
+// Decay factor of the item-implicit term in Eq. 11.
+enum class ImplicitDecay {
+  kSqrtUserItems,  // 1/sqrt(|I_i|)            (the paper's choice)
+  kSqrtBoth,       // 1/sqrt(|I_i| |A_j|)      (the alternative it mentions)
+};
+
+// HOSR — the paper's High-Order Social Recommender (Sec. 2): k stacked GCN
+// layers propagate user embeddings along the social graph (Eqs. 3-6), an
+// attention network aggregates the per-layer outputs (Eqs. 8-10), an
+// SVD++-style item-implicit term joins the final embedding, and prediction
+// is a dot product with the item embedding (Eq. 11). Trained with BPR
+// (Eq. 12) under embedding dropout (p1) and graph dropout (p2) (Sec. 2.4).
+class Hosr : public models::RankingModel {
+ public:
+  struct Config {
+    uint32_t embedding_dim = 10;        // d
+    uint32_t num_layers = 3;            // k
+    LayerAggregation aggregation = LayerAggregation::kAttention;
+    Activation activation = Activation::kTanh;
+    // Include the self-connection in the propagation operator (Eq. 6 adds
+    // I; disabling it is the self-connection ablation).
+    bool self_connections = true;
+    // Include the item-implicit term of Eq. 11.
+    bool item_implicit_term = true;
+    // Apply the per-layer weight matrices W^(k) (Eq. 4). Disabling them —
+    // together with the activation — yields a LightGCN-style simplified
+    // propagation, an ablation of the paper's design.
+    bool use_layer_weights = true;
+    // Apply the nonlinearity after each layer (Eq. 2's tanh).
+    bool use_activation = true;
+    ImplicitDecay implicit_decay = ImplicitDecay::kSqrtUserItems;
+    float embedding_dropout = 0.0f;     // p1 (paper's best: 0)
+    float graph_dropout = 0.2f;         // p2 (paper's best: 0.2)
+    // Smaller than the shallow baselines' 0.1: embeddings pass through k
+    // propagation layers, and a smaller start keeps early updates stable.
+    float init_stddev = 0.05f;
+    uint64_t seed = 7;
+
+    util::Status Validate() const;
+  };
+
+  // `train` supplies both the social graph (propagation) and the training
+  // interactions (item-implicit term). Aborts on invalid config; call
+  // Config::Validate() first for recoverable handling.
+  Hosr(const data::Dataset& train, const Config& config);
+
+  std::string name() const override { return "HOSR"; }
+  uint32_t num_users() const override { return num_users_; }
+  uint32_t num_items() const override { return num_items_; }
+  const Config& config() const { return config_; }
+
+  autograd::Value ScorePairs(autograd::Tape* tape,
+                             const std::vector<uint32_t>& users,
+                             const std::vector<uint32_t>& items,
+                             bool training) override;
+
+  // Shares one propagation across the positive and negative BPR branches.
+  autograd::Value BuildLoss(autograd::Tape* tape, const data::BprBatch& batch,
+                            util::Rng* rng) override;
+
+  tensor::Matrix ScoreAllItems(const std::vector<uint32_t>& users) override;
+
+  // Re-samples the graph-dropout adjacency (Sec. 2.4: once per epoch).
+  void OnEpochBegin(uint32_t epoch, util::Rng* rng) override;
+
+  autograd::ParamStore* params() override { return &params_; }
+
+  // Per-user attention weights over layers, inference mode: (n x k).
+  // Only meaningful for kAttention aggregation — Fig. 7's data.
+  tensor::Matrix AttentionWeights() const;
+
+  // Final inference-mode user embeddings (aggregated, without the
+  // item-implicit term): (n x d).
+  tensor::Matrix FinalUserEmbeddings() const;
+
+ private:
+  // Builds all k layer outputs on the tape; returns them in order 1..k.
+  std::vector<autograd::Value> PropagateLayers(autograd::Tape* tape,
+                                               bool training);
+  // Aggregates layer outputs per config (attention / average / last).
+  autograd::Value AggregateLayers(autograd::Tape* tape, autograd::Value u0,
+                                  const std::vector<autograd::Value>& layers);
+  // Differentiable final user embedding incl. item-implicit term.
+  autograd::Value UserRepresentation(autograd::Tape* tape, bool training);
+
+  // Inference-mode mirrors (plain tensor ops on current param values).
+  std::vector<tensor::Matrix> PropagateLayersInference() const;
+  tensor::Matrix AggregateLayersInference(
+      const std::vector<tensor::Matrix>& layers) const;
+  tensor::Matrix AttentionWeightsFor(
+      const std::vector<tensor::Matrix>& layers) const;
+
+  void RebuildActiveLaplacian(const graph::SocialGraph& graph);
+
+  uint32_t num_users_;
+  uint32_t num_items_;
+  Config config_;
+  graph::SocialGraph social_;
+  util::Rng dropout_rng_;
+  // Propagation operator on the full graph (inference) and on the
+  // epoch's thinned graph (training). Both are symmetric.
+  graph::CsrMatrix base_laplacian_;
+  graph::CsrMatrix active_laplacian_;
+  // Item-implicit operator of Eq. 11 (n x m) and transpose.
+  graph::CsrMatrix item_term_;
+  graph::CsrMatrix item_term_t_;
+  autograd::ParamStore params_;
+  autograd::Param* user_emb_;
+  autograd::Param* item_emb_;
+  std::vector<autograd::Param*> layer_weights_;  // W^(k), Eq. 4
+  autograd::Param* attn_proj_user_;              // P_u, Eq. 8
+  autograd::Param* attn_proj_output_;            // P_o, Eq. 8
+  autograd::Param* attn_vector_;                 // h,   Eq. 8 (d x 1)
+};
+
+}  // namespace hosr::core
+
+#endif  // HOSR_CORE_HOSR_H_

@@ -1,0 +1,64 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace hosr::data {
+
+Dataset::Summary Dataset::Summarize() const {
+  Summary s;
+  s.num_users = num_users();
+  s.num_items = num_items();
+  s.num_interactions = interactions.nnz();
+  s.num_social_edges = social.num_edges();
+  s.interaction_density = interactions.Density();
+  s.social_density = social.Density();
+  s.avg_interactions = interactions.AvgInteractionsPerUser();
+  s.avg_relations =
+      s.num_users > 0
+          ? 2.0 * static_cast<double>(s.num_social_edges) / s.num_users
+          : 0.0;
+  return s;
+}
+
+util::StatusOr<Split> SplitDataset(const Dataset& dataset,
+                                   double test_fraction, util::Rng* rng) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    return util::Status::InvalidArgument("test_fraction must be in (0,1)");
+  }
+  std::vector<Interaction> train_list;
+  std::vector<Interaction> test_list;
+  for (uint32_t u = 0; u < dataset.num_users(); ++u) {
+    std::vector<uint32_t> items = dataset.interactions.ItemsOf(u);
+    if (items.empty()) continue;
+    rng->Shuffle(items);
+    // Keep at least one interaction in train so every user is trainable.
+    auto num_test = static_cast<size_t>(
+        static_cast<double>(items.size()) * test_fraction);
+    num_test = std::min(num_test, items.size() - 1);
+    for (size_t k = 0; k < items.size(); ++k) {
+      if (k < num_test) {
+        test_list.push_back({u, items[k]});
+      } else {
+        train_list.push_back({u, items[k]});
+      }
+    }
+  }
+  HOSR_ASSIGN_OR_RETURN(
+      InteractionMatrix train_matrix,
+      InteractionMatrix::FromInteractions(dataset.num_users(),
+                                          dataset.num_items(),
+                                          std::move(train_list)));
+  HOSR_ASSIGN_OR_RETURN(
+      InteractionMatrix test_matrix,
+      InteractionMatrix::FromInteractions(dataset.num_users(),
+                                          dataset.num_items(),
+                                          std::move(test_list)));
+  Split split;
+  split.train.name = dataset.name + "/train";
+  split.train.interactions = std::move(train_matrix);
+  split.train.social = dataset.social;
+  split.test = std::move(test_matrix);
+  return split;
+}
+
+}  // namespace hosr::data

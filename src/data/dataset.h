@@ -1,0 +1,52 @@
+#ifndef HOSR_DATA_DATASET_H_
+#define HOSR_DATA_DATASET_H_
+
+#include <string>
+
+#include "data/interactions.h"
+#include "graph/social_graph.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace hosr::data {
+
+// A social-recommendation dataset: the user-item matrix Y plus the
+// user-user social network A (the paper's problem input, Sec. 2.1).
+struct Dataset {
+  std::string name;
+  InteractionMatrix interactions;
+  graph::SocialGraph social;
+
+  uint32_t num_users() const { return interactions.num_users(); }
+  uint32_t num_items() const { return interactions.num_items(); }
+
+  // The statistics of Table 2.
+  struct Summary {
+    uint32_t num_users = 0;
+    uint32_t num_items = 0;
+    size_t num_interactions = 0;
+    size_t num_social_edges = 0;     // undirected
+    double interaction_density = 0;  // user-item density
+    double social_density = 0;       // user-user density
+    double avg_interactions = 0;     // per user
+    double avg_relations = 0;        // per user (first-order neighbors)
+  };
+  Summary Summarize() const;
+};
+
+// Result of the paper's 80/20 protocol (Sec. 3.1): `train` keeps the full
+// social graph with 80% of each interaction set; `test` holds the held-out
+// 20%. Users with a single interaction keep it in train.
+struct Split {
+  Dataset train;
+  InteractionMatrix test;
+};
+
+// Randomly splits interactions per the protocol above. `test_fraction`
+// in (0, 1).
+util::StatusOr<Split> SplitDataset(const Dataset& dataset,
+                                   double test_fraction, util::Rng* rng);
+
+}  // namespace hosr::data
+
+#endif  // HOSR_DATA_DATASET_H_

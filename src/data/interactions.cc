@@ -1,0 +1,64 @@
+#include "data/interactions.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace hosr::data {
+
+util::StatusOr<InteractionMatrix> InteractionMatrix::FromInteractions(
+    uint32_t num_users, uint32_t num_items,
+    std::vector<Interaction> interactions) {
+  InteractionMatrix m;
+  m.num_items_ = num_items;
+  m.user_items_.resize(num_users);
+  for (const Interaction& it : interactions) {
+    if (it.user >= num_users || it.item >= num_items) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("interaction (%u,%u) outside %ux%u", it.user,
+                          it.item, num_users, num_items));
+    }
+    m.user_items_[it.user].push_back(it.item);
+  }
+  for (auto& items : m.user_items_) {
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    m.total_ += items.size();
+  }
+  return m;
+}
+
+bool InteractionMatrix::Contains(uint32_t user, uint32_t item) const {
+  HOSR_CHECK(user < user_items_.size());
+  const auto& items = user_items_[user];
+  return std::binary_search(items.begin(), items.end(), item);
+}
+
+double InteractionMatrix::Density() const {
+  const double cells =
+      static_cast<double>(num_users()) * static_cast<double>(num_items_);
+  return cells > 0 ? static_cast<double>(total_) / cells : 0.0;
+}
+
+double InteractionMatrix::AvgInteractionsPerUser() const {
+  return num_users() > 0 ? static_cast<double>(total_) / num_users() : 0.0;
+}
+
+std::vector<std::vector<uint32_t>> InteractionMatrix::BuildItemIndex() const {
+  std::vector<std::vector<uint32_t>> index(num_items_);
+  for (uint32_t u = 0; u < num_users(); ++u) {
+    for (const uint32_t item : user_items_[u]) index[item].push_back(u);
+  }
+  return index;
+}
+
+std::vector<Interaction> InteractionMatrix::ToList() const {
+  std::vector<Interaction> list;
+  list.reserve(total_);
+  for (uint32_t u = 0; u < num_users(); ++u) {
+    for (const uint32_t item : user_items_[u]) list.push_back({u, item});
+  }
+  return list;
+}
+
+}  // namespace hosr::data

@@ -1,0 +1,68 @@
+#ifndef HOSR_DATA_INTERACTIONS_H_
+#define HOSR_DATA_INTERACTIONS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace hosr::data {
+
+// One observed implicit-feedback event y_ij = 1 (Sec. 2.1).
+struct Interaction {
+  uint32_t user;
+  uint32_t item;
+
+  bool operator==(const Interaction& other) const {
+    return user == other.user && item == other.item;
+  }
+};
+
+// Sparse binary user-item matrix Y stored as per-user sorted item lists.
+// Immutable after construction.
+class InteractionMatrix {
+ public:
+  InteractionMatrix() : num_items_(0) {}
+
+  // De-duplicates; rejects out-of-range ids.
+  static util::StatusOr<InteractionMatrix> FromInteractions(
+      uint32_t num_users, uint32_t num_items,
+      std::vector<Interaction> interactions);
+
+  uint32_t num_users() const {
+    return static_cast<uint32_t>(user_items_.size());
+  }
+  uint32_t num_items() const { return num_items_; }
+  size_t nnz() const { return total_; }
+
+  // I_i: items user i interacted with, ascending.
+  const std::vector<uint32_t>& ItemsOf(uint32_t user) const {
+    HOSR_CHECK(user < user_items_.size());
+    return user_items_[user];
+  }
+
+  // O(log |I_u|).
+  bool Contains(uint32_t user, uint32_t item) const;
+
+  // Fraction of (user, item) cells observed — Table 2's user-item density.
+  double Density() const;
+
+  // Average interactions per user — Table 2's "Avg. interactions".
+  double AvgInteractionsPerUser() const;
+
+  // Inverted index: users that interacted with each item. O(nnz) to build.
+  std::vector<std::vector<uint32_t>> BuildItemIndex() const;
+
+  // Flattened (user, item) list in user-major order, for uniform sampling.
+  std::vector<Interaction> ToList() const;
+
+ private:
+  uint32_t num_items_;
+  size_t total_ = 0;
+  std::vector<std::vector<uint32_t>> user_items_;
+};
+
+}  // namespace hosr::data
+
+#endif  // HOSR_DATA_INTERACTIONS_H_

@@ -1,0 +1,134 @@
+#include "data/io.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace hosr::data {
+
+namespace {
+
+util::StatusOr<std::pair<int64_t, int64_t>> ParsePairLine(
+    const std::string& line, const std::string& path) {
+  const auto fields = util::Split(line, '\t');
+  if (fields.size() != 2) {
+    return util::Status::InvalidArgument("bad line in " + path + ": " + line);
+  }
+  HOSR_ASSIGN_OR_RETURN(const int64_t a, util::ParseInt(fields[0]));
+  HOSR_ASSIGN_OR_RETURN(const int64_t b, util::ParseInt(fields[1]));
+  if (a < 0 || b < 0) {
+    return util::Status::InvalidArgument("negative id in " + path);
+  }
+  return std::make_pair(a, b);
+}
+
+}  // namespace
+
+util::Status SaveDataset(const Dataset& dataset, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return util::Status::IoError("mkdir failed: " + dir);
+
+  {
+    std::ofstream meta(dir + "/meta.tsv", std::ios::trunc);
+    if (!meta) return util::Status::IoError("cannot write meta.tsv");
+    meta << "name\t" << dataset.name << "\n";
+    meta << "num_users\t" << dataset.num_users() << "\n";
+    meta << "num_items\t" << dataset.num_items() << "\n";
+  }
+  {
+    std::ofstream out(dir + "/interactions.tsv", std::ios::trunc);
+    if (!out) return util::Status::IoError("cannot write interactions.tsv");
+    for (uint32_t u = 0; u < dataset.num_users(); ++u) {
+      for (const uint32_t item : dataset.interactions.ItemsOf(u)) {
+        out << u << '\t' << item << '\n';
+      }
+    }
+    if (!out) return util::Status::IoError("interactions.tsv write failed");
+  }
+  {
+    std::ofstream out(dir + "/social.tsv", std::ios::trunc);
+    if (!out) return util::Status::IoError("cannot write social.tsv");
+    for (const auto& [a, b] : dataset.social.EdgeList()) {
+      out << a << '\t' << b << '\n';
+    }
+    if (!out) return util::Status::IoError("social.tsv write failed");
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<Dataset> LoadDataset(const std::string& dir) {
+  std::string name;
+  int64_t num_users = -1;
+  int64_t num_items = -1;
+  {
+    std::ifstream meta(dir + "/meta.tsv");
+    if (!meta) return util::Status::IoError("cannot read " + dir + "/meta.tsv");
+    std::string line;
+    while (std::getline(meta, line)) {
+      if (line.empty()) continue;
+      const auto fields = util::Split(line, '\t');
+      if (fields.size() != 2) {
+        return util::Status::InvalidArgument("bad meta line: " + line);
+      }
+      if (fields[0] == "name") {
+        name = fields[1];
+      } else if (fields[0] == "num_users") {
+        HOSR_ASSIGN_OR_RETURN(num_users, util::ParseInt(fields[1]));
+      } else if (fields[0] == "num_items") {
+        HOSR_ASSIGN_OR_RETURN(num_items, util::ParseInt(fields[1]));
+      }
+    }
+  }
+  if (num_users <= 0 || num_items <= 0) {
+    return util::Status::InvalidArgument("meta.tsv missing user/item counts");
+  }
+
+  std::vector<Interaction> interactions;
+  {
+    std::ifstream in(dir + "/interactions.tsv");
+    if (!in) {
+      return util::Status::IoError("cannot read " + dir +
+                                   "/interactions.tsv");
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      HOSR_ASSIGN_OR_RETURN(const auto pair,
+                            ParsePairLine(line, "interactions.tsv"));
+      interactions.push_back({static_cast<uint32_t>(pair.first),
+                              static_cast<uint32_t>(pair.second)});
+    }
+  }
+
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  {
+    std::ifstream in(dir + "/social.tsv");
+    if (!in) return util::Status::IoError("cannot read " + dir + "/social.tsv");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      HOSR_ASSIGN_OR_RETURN(const auto pair, ParsePairLine(line, "social.tsv"));
+      edges.emplace_back(static_cast<uint32_t>(pair.first),
+                         static_cast<uint32_t>(pair.second));
+    }
+  }
+
+  HOSR_ASSIGN_OR_RETURN(
+      InteractionMatrix matrix,
+      InteractionMatrix::FromInteractions(static_cast<uint32_t>(num_users),
+                                          static_cast<uint32_t>(num_items),
+                                          std::move(interactions)));
+  HOSR_ASSIGN_OR_RETURN(
+      graph::SocialGraph social,
+      graph::SocialGraph::FromEdges(static_cast<uint32_t>(num_users), edges));
+
+  Dataset dataset;
+  dataset.name = name.empty() ? "unnamed" : name;
+  dataset.interactions = std::move(matrix);
+  dataset.social = std::move(social);
+  return dataset;
+}
+
+}  // namespace hosr::data

@@ -1,0 +1,20 @@
+#ifndef HOSR_DATA_IO_H_
+#define HOSR_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/statusor.h"
+
+namespace hosr::data {
+
+// On-disk dataset format, in a directory:
+//   meta.tsv          name / num_users / num_items, one "key\tvalue" per line
+//   interactions.tsv  "user\titem" per line
+//   social.tsv        "user_a\tuser_b" per line (undirected, a < b)
+util::Status SaveDataset(const Dataset& dataset, const std::string& dir);
+util::StatusOr<Dataset> LoadDataset(const std::string& dir);
+
+}  // namespace hosr::data
+
+#endif  // HOSR_DATA_IO_H_

@@ -1,0 +1,139 @@
+#include "data/preprocess.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hosr::data {
+
+util::StatusOr<FilteredDataset> KCoreFilter(
+    const Dataset& dataset, uint32_t min_interactions_per_user,
+    uint32_t min_interactions_per_item) {
+  const uint32_t n = dataset.num_users();
+  const uint32_t m = dataset.num_items();
+  std::vector<bool> user_alive(n, true);
+  std::vector<bool> item_alive(m, true);
+  std::vector<uint32_t> user_degree(n, 0);
+  std::vector<uint32_t> item_degree(m, 0);
+
+  for (uint32_t u = 0; u < n; ++u) {
+    for (const uint32_t j : dataset.interactions.ItemsOf(u)) {
+      ++user_degree[u];
+      ++item_degree[j];
+    }
+  }
+
+  // Iterate to a fixed point. Each pass recomputes degrees over survivors.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t u = 0; u < n; ++u) {
+      if (user_alive[u] && user_degree[u] < min_interactions_per_user) {
+        user_alive[u] = false;
+        changed = true;
+        for (const uint32_t j : dataset.interactions.ItemsOf(u)) {
+          if (item_alive[j]) --item_degree[j];
+        }
+      }
+    }
+    for (uint32_t j = 0; j < m; ++j) {
+      if (item_alive[j] && item_degree[j] < min_interactions_per_item) {
+        item_alive[j] = false;
+        changed = true;
+      }
+    }
+    // Item removals reduce user degrees; recompute lazily.
+    if (changed) {
+      std::fill(user_degree.begin(), user_degree.end(), 0);
+      for (uint32_t u = 0; u < n; ++u) {
+        if (!user_alive[u]) continue;
+        for (const uint32_t j : dataset.interactions.ItemsOf(u)) {
+          if (item_alive[j]) ++user_degree[u];
+        }
+      }
+    }
+  }
+
+  FilteredDataset result;
+  std::vector<uint32_t> user_new_id(n, UINT32_MAX);
+  std::vector<uint32_t> item_new_id(m, UINT32_MAX);
+  for (uint32_t u = 0; u < n; ++u) {
+    if (user_alive[u]) {
+      user_new_id[u] = static_cast<uint32_t>(result.user_origin.size());
+      result.user_origin.push_back(u);
+    }
+  }
+  for (uint32_t j = 0; j < m; ++j) {
+    if (item_alive[j]) {
+      item_new_id[j] = static_cast<uint32_t>(result.item_origin.size());
+      result.item_origin.push_back(j);
+    }
+  }
+  if (result.user_origin.empty() || result.item_origin.empty()) {
+    return util::Status::InvalidArgument(
+        "k-core thresholds eliminated every user or item");
+  }
+
+  std::vector<Interaction> interactions;
+  for (uint32_t u = 0; u < n; ++u) {
+    if (!user_alive[u]) continue;
+    for (const uint32_t j : dataset.interactions.ItemsOf(u)) {
+      if (item_alive[j]) {
+        interactions.push_back({user_new_id[u], item_new_id[j]});
+      }
+    }
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> social_edges;
+  for (const auto& [a, b] : dataset.social.EdgeList()) {
+    if (user_alive[a] && user_alive[b]) {
+      social_edges.emplace_back(user_new_id[a], user_new_id[b]);
+    }
+  }
+
+  HOSR_ASSIGN_OR_RETURN(
+      InteractionMatrix matrix,
+      InteractionMatrix::FromInteractions(
+          static_cast<uint32_t>(result.user_origin.size()),
+          static_cast<uint32_t>(result.item_origin.size()),
+          std::move(interactions)));
+  HOSR_ASSIGN_OR_RETURN(
+      graph::SocialGraph social,
+      graph::SocialGraph::FromEdges(
+          static_cast<uint32_t>(result.user_origin.size()), social_edges));
+  result.dataset.name = dataset.name + "/kcore";
+  result.dataset.interactions = std::move(matrix);
+  result.dataset.social = std::move(social);
+  return result;
+}
+
+std::vector<uint32_t> SocialComponents(const graph::SocialGraph& graph) {
+  const uint32_t n = graph.num_users();
+  std::vector<uint32_t> labels(n, UINT32_MAX);
+  std::vector<uint32_t> stack;
+  uint32_t next_label = 0;
+  for (uint32_t start = 0; start < n; ++start) {
+    if (labels[start] != UINT32_MAX) continue;
+    labels[start] = next_label;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const uint32_t u = stack.back();
+      stack.pop_back();
+      const auto& adj = graph.adjacency();
+      for (size_t k = adj.row_begin(u); k < adj.row_end(u); ++k) {
+        const uint32_t v = adj.col_idx()[k];
+        if (labels[v] == UINT32_MAX) {
+          labels[v] = next_label;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next_label;
+  }
+  return labels;
+}
+
+uint32_t CountComponents(const std::vector<uint32_t>& labels) {
+  if (labels.empty()) return 0;
+  return *std::max_element(labels.begin(), labels.end()) + 1;
+}
+
+}  // namespace hosr::data

@@ -1,0 +1,41 @@
+#ifndef HOSR_DATA_PREPROCESS_H_
+#define HOSR_DATA_PREPROCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/statusor.h"
+
+namespace hosr::data {
+
+// Result of a dataset filtering pass: the filtered dataset plus the id
+// remappings (new id -> original id) needed to interpret its entities.
+struct FilteredDataset {
+  Dataset dataset;
+  std::vector<uint32_t> user_origin;  // new user id -> original user id
+  std::vector<uint32_t> item_origin;  // new item id -> original item id
+};
+
+// Iterative k-core filtering, the standard preprocessing step of the
+// recommendation literature (the paper's datasets are pre-filtered this
+// way by their sources): repeatedly drops users with fewer than
+// `min_interactions_per_user` interactions and items with fewer than
+// `min_interactions_per_item` until a fixed point, then compacts user and
+// item ids and rewrites the social graph over the surviving users.
+//
+// Returns InvalidArgument when the thresholds eliminate everything.
+util::StatusOr<FilteredDataset> KCoreFilter(
+    const Dataset& dataset, uint32_t min_interactions_per_user,
+    uint32_t min_interactions_per_item);
+
+// Connected components of the social graph; entry i is the component id of
+// user i (ids are dense, 0-based, ordered by first appearance).
+std::vector<uint32_t> SocialComponents(const graph::SocialGraph& graph);
+
+// Number of distinct values in a component labeling.
+uint32_t CountComponents(const std::vector<uint32_t>& labels);
+
+}  // namespace hosr::data
+
+#endif  // HOSR_DATA_PREPROCESS_H_

@@ -1,0 +1,68 @@
+#include "data/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hosr::data {
+
+BprSampler::BprSampler(const InteractionMatrix* train, uint64_t seed,
+                       NegativeSampling negative_sampling)
+    : train_(train),
+      positives_(train->ToList()),
+      rng_(seed),
+      negative_sampling_(negative_sampling) {
+  HOSR_CHECK(!positives_.empty()) << "cannot sample from empty training set";
+  HOSR_CHECK(train_->num_items() > 1);
+  if (negative_sampling_ == NegativeSampling::kPopularity) {
+    std::vector<double> weights(train_->num_items(), 0.0);
+    for (const Interaction& it : positives_) weights[it.item] += 1.0;
+    popularity_cdf_.resize(weights.size());
+    double acc = 0.0;
+    for (size_t j = 0; j < weights.size(); ++j) {
+      // +1 smoothing keeps never-consumed items sampleable.
+      acc += std::pow(weights[j] + 1.0, 0.75);
+      popularity_cdf_[j] = acc;
+    }
+  }
+}
+
+uint32_t BprSampler::SamplePopularityItem() {
+  const double target = rng_.UniformDouble() * popularity_cdf_.back();
+  const auto it = std::upper_bound(popularity_cdf_.begin(),
+                                   popularity_cdf_.end(), target);
+  return static_cast<uint32_t>(
+      std::min<ptrdiff_t>(it - popularity_cdf_.begin(),
+                          static_cast<ptrdiff_t>(popularity_cdf_.size()) - 1));
+}
+
+uint32_t BprSampler::SampleNegative(uint32_t user) {
+  const auto& items = train_->ItemsOf(user);
+  // A user interacting with every item would loop forever; the datasets
+  // the library targets are far sparser, but guard with a cheap check.
+  HOSR_CHECK(items.size() < train_->num_items())
+      << "user " << user << " interacted with every item";
+  while (true) {
+    const uint32_t candidate =
+        negative_sampling_ == NegativeSampling::kPopularity
+            ? SamplePopularityItem()
+            : static_cast<uint32_t>(rng_.UniformInt(train_->num_items()));
+    if (!train_->Contains(user, candidate)) return candidate;
+  }
+}
+
+BprBatch BprSampler::SampleBatch(size_t batch_size) {
+  BprBatch batch;
+  batch.users.reserve(batch_size);
+  batch.pos_items.reserve(batch_size);
+  batch.neg_items.reserve(batch_size);
+  for (size_t k = 0; k < batch_size; ++k) {
+    const Interaction& pos =
+        positives_[rng_.UniformInt(positives_.size())];
+    batch.users.push_back(pos.user);
+    batch.pos_items.push_back(pos.item);
+    batch.neg_items.push_back(SampleNegative(pos.user));
+  }
+  return batch;
+}
+
+}  // namespace hosr::data

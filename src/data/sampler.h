@@ -1,0 +1,63 @@
+#ifndef HOSR_DATA_SAMPLER_H_
+#define HOSR_DATA_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/interactions.h"
+#include "util/random.h"
+
+namespace hosr::data {
+
+// A mini-batch of BPR triples (i, j+, j-) from D (Eq. 12): each row pairs
+// an observed interaction with a sampled unobserved item for the same user.
+struct BprBatch {
+  std::vector<uint32_t> users;
+  std::vector<uint32_t> pos_items;
+  std::vector<uint32_t> neg_items;
+
+  size_t size() const { return users.size(); }
+};
+
+// How negative items are drawn.
+enum class NegativeSampling {
+  // Uniform over non-interacted items (the paper's protocol).
+  kUniform,
+  // Proportional to popularity^0.75 (word2vec-style): harder negatives,
+  // counteracts popularity bias in the learned ranking.
+  kPopularity,
+};
+
+// Uniformly samples observed interactions and rejection-samples negatives
+// (items the user never interacted with).
+class BprSampler {
+ public:
+  // `train` must outlive the sampler.
+  BprSampler(const InteractionMatrix* train, uint64_t seed,
+             NegativeSampling negative_sampling = NegativeSampling::kUniform);
+
+  BprBatch SampleBatch(size_t batch_size);
+
+  // Samples a negative item for `user` per the configured strategy.
+  uint32_t SampleNegative(uint32_t user);
+
+  // Number of (user, item) positives available.
+  size_t num_positives() const { return positives_.size(); }
+
+  NegativeSampling negative_sampling() const { return negative_sampling_; }
+
+ private:
+  // Popularity^0.75-distributed item (ignoring the user constraint).
+  uint32_t SamplePopularityItem();
+
+  const InteractionMatrix* train_;
+  std::vector<Interaction> positives_;
+  util::Rng rng_;
+  NegativeSampling negative_sampling_;
+  // CDF over items for kPopularity (empty otherwise).
+  std::vector<double> popularity_cdf_;
+};
+
+}  // namespace hosr::data
+
+#endif  // HOSR_DATA_SAMPLER_H_

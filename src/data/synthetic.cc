@@ -1,0 +1,257 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "tensor/init.h"
+#include "tensor/matrix.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace hosr::data {
+
+namespace {
+
+using tensor::Matrix;
+
+// Grows an undirected graph by preferential attachment with *variable*
+// per-node edge budgets: node i joins with 1 + Geometric(mean - 1) edges
+// to distinct existing nodes chosen with probability proportional to
+// degree (with a uniform admixture). The geometric budgets put most users
+// at degree 1-3 while attachment builds hubs — both ends of the Fig. 5
+// long tail.
+std::vector<std::pair<uint32_t, uint32_t>> GrowPreferentialAttachment(
+    uint32_t num_nodes, double mean_edges_per_node, util::Rng* rng) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  if (num_nodes < 2) return edges;
+  // Repeated-endpoint list: sampling uniformly from it is degree-biased.
+  std::vector<uint32_t> endpoints;
+  endpoints.reserve(
+      static_cast<size_t>(num_nodes * mean_edges_per_node * 2));
+  edges.emplace_back(0, 1);
+  endpoints.push_back(0);
+  endpoints.push_back(1);
+  // Geometric "extra edges" with mean (mean_edges_per_node - 1).
+  const double extra_mean = std::max(0.0, mean_edges_per_node - 1.0);
+  const double continue_prob = extra_mean / (1.0 + extra_mean);
+  std::unordered_set<uint32_t> chosen;
+  for (uint32_t node = 2; node < num_nodes; ++node) {
+    uint32_t want = 1;
+    while (rng->Bernoulli(continue_prob) && want < node) ++want;
+    chosen.clear();
+    uint32_t attempts = 0;
+    while (chosen.size() < want && attempts < want * 20) {
+      ++attempts;
+      // Mix preferential (degree-proportional) with uniform selection to
+      // keep a heavy tail without a single dominating hub.
+      uint32_t target;
+      if (rng->Bernoulli(0.8)) {
+        target = endpoints[rng->UniformInt(endpoints.size())];
+      } else {
+        target = static_cast<uint32_t>(rng->UniformInt(node));
+      }
+      if (target == node) continue;
+      chosen.insert(target);
+    }
+    for (const uint32_t target : chosen) {
+      edges.emplace_back(node, target);
+      endpoints.push_back(node);
+      endpoints.push_back(target);
+    }
+  }
+  return edges;
+}
+
+// One diffusion round: P <- (1 - blend) * P + blend * neighborhood_mean(P).
+Matrix DiffuseOnce(const graph::SocialGraph& social, const Matrix& prefs,
+                   float blend) {
+  Matrix out = prefs;
+  const auto& adj = social.adjacency();
+  util::ParallelFor(0, prefs.rows(), [&](size_t begin, size_t end) {
+    for (size_t u = begin; u < end; ++u) {
+      const auto user = static_cast<uint32_t>(u);
+      const size_t row_begin = adj.row_begin(user);
+      const size_t row_end = adj.row_end(user);
+      if (row_begin == row_end) continue;
+      const float inv_degree = 1.0f / static_cast<float>(row_end - row_begin);
+      float* out_row = out.row(u);
+      for (size_t c = 0; c < prefs.cols(); ++c) out_row[c] *= (1.0f - blend);
+      for (size_t k = row_begin; k < row_end; ++k) {
+        const float* nbr = prefs.row(adj.col_idx()[k]);
+        for (size_t c = 0; c < prefs.cols(); ++c) {
+          out_row[c] += blend * inv_degree * nbr[c];
+        }
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+SyntheticConfig SyntheticConfig::YelpLike(double scale) {
+  SyntheticConfig config;
+  config.name = util::StrFormat("yelp-like(x%.2f)", scale);
+  config.num_users =
+      std::max<uint32_t>(64, static_cast<uint32_t>(10580 * scale));
+  config.num_items =
+      std::max<uint32_t>(64, static_cast<uint32_t>(14284 * scale));
+  config.avg_interactions_per_user = 16.17;
+  config.avg_relations_per_user = 15.99;
+  config.seed = 20230417;
+  return config;
+}
+
+SyntheticConfig SyntheticConfig::DoubanLike(double scale) {
+  SyntheticConfig config;
+  config.name = util::StrFormat("douban-like(x%.2f)", scale);
+  config.num_users =
+      std::max<uint32_t>(64, static_cast<uint32_t>(12748 * scale));
+  config.num_items =
+      std::max<uint32_t>(64, static_cast<uint32_t>(22348 * scale));
+  config.avg_interactions_per_user = 61.60;
+  config.avg_relations_per_user = 14.26;
+  config.seed = 20230612;
+  return config;
+}
+
+util::Status SyntheticConfig::Validate() const {
+  if (num_users < 2) {
+    return util::Status::InvalidArgument("need at least 2 users");
+  }
+  if (num_items < 2) {
+    return util::Status::InvalidArgument("need at least 2 items");
+  }
+  if (avg_interactions_per_user < 1.0) {
+    return util::Status::InvalidArgument(
+        "avg_interactions_per_user must be >= 1");
+  }
+  if (avg_interactions_per_user > num_items / 2.0) {
+    return util::Status::InvalidArgument(
+        "avg_interactions_per_user too large for item count");
+  }
+  if (avg_relations_per_user < 1.0 ||
+      avg_relations_per_user > num_users / 2.0) {
+    return util::Status::InvalidArgument(
+        "avg_relations_per_user out of range");
+  }
+  if (latent_dim == 0) {
+    return util::Status::InvalidArgument("latent_dim must be positive");
+  }
+  if (social_blend < 0.0f || social_blend >= 1.0f) {
+    return util::Status::InvalidArgument("social_blend must be in [0,1)");
+  }
+  if (sampling_temperature <= 0.0f) {
+    return util::Status::InvalidArgument(
+        "sampling_temperature must be positive");
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<Dataset> GenerateSynthetic(const SyntheticConfig& config) {
+  HOSR_RETURN_IF_ERROR(config.Validate());
+  util::Rng rng(config.seed);
+
+  // 1. Social graph. Each joining node adds ~avg/2 undirected edges in
+  //    expectation (each undirected edge contributes 2 to the degree sum).
+  const double mean_edges_per_node =
+      std::max(1.0, config.avg_relations_per_user / 2.0);
+  auto edges =
+      GrowPreferentialAttachment(config.num_users, mean_edges_per_node, &rng);
+  HOSR_ASSIGN_OR_RETURN(graph::SocialGraph social,
+                        graph::SocialGraph::FromEdges(config.num_users,
+                                                      edges));
+
+  // 2. Ground-truth preference space with social diffusion.
+  Matrix user_prefs(config.num_users, config.latent_dim);
+  Matrix item_vecs(config.num_items, config.latent_dim);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(config.latent_dim));
+  tensor::GaussianInit(&user_prefs, scale, &rng);
+  tensor::GaussianInit(&item_vecs, scale, &rng);
+  for (uint32_t hop = 0; hop < config.influence_hops; ++hop) {
+    user_prefs = DiffuseOnce(social, user_prefs, config.social_blend);
+  }
+  // Diffusion is an averaging operator and shrinks preference magnitude;
+  // renormalize rows so the personal signal keeps a fixed strength relative
+  // to popularity regardless of blend/hops.
+  for (size_t u = 0; u < user_prefs.rows(); ++u) {
+    float* row = user_prefs.row(u);
+    float norm_sq = 0.0f;
+    for (uint32_t c = 0; c < config.latent_dim; ++c) {
+      norm_sq += row[c] * row[c];
+    }
+    if (norm_sq > 1e-12f) {
+      const float inv = 1.0f / std::sqrt(norm_sq);
+      for (uint32_t c = 0; c < config.latent_dim; ++c) row[c] *= inv;
+    }
+  }
+
+  // Item popularity skew (long-tail item exposure).
+  std::vector<float> popularity(config.num_items);
+  for (auto& b : popularity) b = rng.Gaussian(0.0f, config.popularity_stddev);
+
+  // 3. Interactions: per-user log-normal activity, Gumbel top-k sampling
+  //    (equivalent to sampling without replacement from the softmax over
+  //    affinities / temperature).
+  const double sigma = config.activity_sigma;
+  const double mu =
+      std::log(config.avg_interactions_per_user) - sigma * sigma / 2.0;
+  const auto max_per_user =
+      std::max<uint32_t>(1, config.num_items / 4);
+
+  std::vector<std::vector<uint32_t>> picked(config.num_users);
+  const uint64_t base_seed = rng.NextUint64();
+  util::ParallelFor(
+      0, config.num_users,
+      [&](size_t begin, size_t end) {
+        std::vector<std::pair<float, uint32_t>> keyed(config.num_items);
+        for (size_t u = begin; u < end; ++u) {
+          util::Rng user_rng(base_seed ^ (0x5851f42d4c957f2dULL * (u + 1)));
+          const double draw =
+              std::exp(mu + sigma * user_rng.Gaussian());
+          const auto count = std::clamp<uint32_t>(
+              static_cast<uint32_t>(std::lround(draw)), 1, max_per_user);
+          const float* prefs = user_prefs.row(u);
+          const float inv_temp = 1.0f / config.sampling_temperature;
+          for (uint32_t j = 0; j < config.num_items; ++j) {
+            const float* item = item_vecs.row(j);
+            float affinity = popularity[j];
+            for (uint32_t c = 0; c < config.latent_dim; ++c) {
+              affinity += prefs[c] * item[c];
+            }
+            // Gumbel(0,1) noise.
+            float unif = user_rng.UniformFloat();
+            if (unif < 1e-12f) unif = 1e-12f;
+            const float gumbel = -std::log(-std::log(unif));
+            keyed[j] = {affinity * inv_temp + gumbel, j};
+          }
+          std::partial_sort(keyed.begin(), keyed.begin() + count, keyed.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.first > b.first;
+                            });
+          picked[u].reserve(count);
+          for (uint32_t k = 0; k < count; ++k) {
+            picked[u].push_back(keyed[k].second);
+          }
+        }
+      },
+      /*min_chunk=*/16);
+
+  std::vector<Interaction> interactions;
+  for (uint32_t u = 0; u < config.num_users; ++u) {
+    for (const uint32_t j : picked[u]) interactions.push_back({u, j});
+  }
+  HOSR_ASSIGN_OR_RETURN(
+      InteractionMatrix matrix,
+      InteractionMatrix::FromInteractions(config.num_users, config.num_items,
+                                          std::move(interactions)));
+
+  Dataset dataset;
+  dataset.name = config.name;
+  dataset.interactions = std::move(matrix);
+  dataset.social = std::move(social);
+  return dataset;
+}
+
+}  // namespace hosr::data

@@ -1,0 +1,130 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "eval/metrics.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hosr::eval {
+
+Evaluator::Evaluator(const data::InteractionMatrix* train,
+                     const data::InteractionMatrix* test, uint32_t k)
+    : train_(train), test_(test), k_(k) {
+  HOSR_CHECK(train != nullptr && test != nullptr);
+  HOSR_CHECK(train->num_users() == test->num_users());
+  HOSR_CHECK(train->num_items() == test->num_items());
+  HOSR_CHECK(k > 0);
+}
+
+EvalResult Evaluator::Evaluate(const BatchScorer& scorer) const {
+  std::vector<uint32_t> users(train_->num_users());
+  std::iota(users.begin(), users.end(), 0);
+  return EvaluateUsers(scorer, users);
+}
+
+EvalResult Evaluator::EvaluateUsers(const BatchScorer& scorer,
+                                    const std::vector<uint32_t>& users) const {
+  EvalResult result;
+  std::vector<uint32_t> eligible;
+  for (const uint32_t u : users) {
+    if (!test_->ItemsOf(u).empty()) eligible.push_back(u);
+  }
+  result.users = eligible;
+  result.num_users = eligible.size();
+  if (eligible.empty()) return result;
+
+  result.per_user_recall.resize(eligible.size());
+  result.per_user_ap.resize(eligible.size());
+  double sum_recall = 0.0, sum_ap = 0.0, sum_prec = 0.0, sum_ndcg = 0.0;
+
+  // Score in batches to bound memory: a (B x m) score block per batch.
+  constexpr size_t kBatch = 512;
+  for (size_t begin = 0; begin < eligible.size(); begin += kBatch) {
+    const size_t end = std::min(eligible.size(), begin + kBatch);
+    const std::vector<uint32_t> batch(eligible.begin() + begin,
+                                      eligible.begin() + end);
+    const tensor::Matrix scores = scorer(batch);
+    HOSR_CHECK(scores.rows() == batch.size() &&
+               scores.cols() == train_->num_items())
+        << "scorer returned " << scores.rows() << "x" << scores.cols();
+    for (size_t b = 0; b < batch.size(); ++b) {
+      const uint32_t u = batch[b];
+      const auto ranked = TopKExcluding(scores.row(b), train_->num_items(),
+                                        k_, train_->ItemsOf(u));
+      const auto& relevant = test_->ItemsOf(u);
+      const double recall = RecallAtK(ranked, relevant);
+      const double ap = AveragePrecisionAtK(ranked, relevant, k_);
+      result.per_user_recall[begin + b] = recall;
+      result.per_user_ap[begin + b] = ap;
+      sum_recall += recall;
+      sum_ap += ap;
+      sum_prec += PrecisionAtK(ranked, relevant, k_);
+      sum_ndcg += NdcgAtK(ranked, relevant, k_);
+    }
+  }
+  const auto n = static_cast<double>(eligible.size());
+  result.recall = sum_recall / n;
+  result.map = sum_ap / n;
+  result.precision = sum_prec / n;
+  result.ndcg = sum_ndcg / n;
+  return result;
+}
+
+std::string SparsityGroup::Label() const {
+  if (min_interactions == 0) {
+    return util::StrFormat("<=%u", max_interactions);
+  }
+  return util::StrFormat("%u-%u", min_interactions, max_interactions);
+}
+
+std::vector<SparsityGroup> BuildSparsityGroups(
+    const data::InteractionMatrix& train, const data::InteractionMatrix& test,
+    uint32_t num_groups) {
+  HOSR_CHECK(num_groups >= 1);
+  // Test users sorted by ascending training interaction count.
+  std::vector<std::pair<uint32_t, uint32_t>> by_count;  // (count, user)
+  uint64_t total = 0;
+  for (uint32_t u = 0; u < train.num_users(); ++u) {
+    if (test.ItemsOf(u).empty()) continue;
+    const auto count = static_cast<uint32_t>(train.ItemsOf(u).size());
+    by_count.emplace_back(count, u);
+    total += count;
+  }
+  std::sort(by_count.begin(), by_count.end());
+
+  std::vector<SparsityGroup> groups;
+  if (by_count.empty()) return groups;
+  const double per_group =
+      static_cast<double>(total) / static_cast<double>(num_groups);
+
+  SparsityGroup current;
+  current.min_interactions = 0;  // first group labeled "<=max"
+  uint64_t accumulated = 0;
+  double boundary = per_group;
+  for (size_t i = 0; i < by_count.size(); ++i) {
+    const auto [count, user] = by_count[i];
+    current.users.push_back(user);
+    current.max_interactions = count;
+    accumulated += count;
+    const bool last_user = (i + 1 == by_count.size());
+    // Close the group at an interaction-count boundary so equal counts
+    // never straddle groups.
+    const bool boundary_reached =
+        static_cast<double>(accumulated) >= boundary &&
+        groups.size() + 1 < num_groups &&
+        (last_user || by_count[i + 1].first != count);
+    if (boundary_reached || last_user) {
+      groups.push_back(std::move(current));
+      current = SparsityGroup();
+      if (!last_user) {
+        current.min_interactions = by_count[i + 1].first;
+      }
+      boundary += per_group;
+    }
+  }
+  return groups;
+}
+
+}  // namespace hosr::eval

@@ -1,0 +1,76 @@
+#ifndef HOSR_EVAL_EVALUATOR_H_
+#define HOSR_EVAL_EVALUATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/interactions.h"
+#include "tensor/matrix.h"
+
+namespace hosr::eval {
+
+// Scores all items for a batch of users; returns (|users| x num_items).
+// Implemented by every model (without autograd overhead).
+using BatchScorer =
+    std::function<tensor::Matrix(const std::vector<uint32_t>&)>;
+
+// Aggregated top-K metrics plus the per-user samples that Table 3's paired
+// significance tests are computed from.
+struct EvalResult {
+  double recall = 0.0;     // Recall@K averaged over evaluated users
+  double map = 0.0;        // MAP@K
+  double precision = 0.0;  // Precision@K
+  double ndcg = 0.0;       // NDCG@K
+  size_t num_users = 0;    // users with at least one test item
+  std::vector<uint32_t> users;      // evaluated users, in order
+  std::vector<double> per_user_recall;
+  std::vector<double> per_user_ap;
+};
+
+// Top-K evaluator implementing the paper's protocol (Sec. 3.1): all items a
+// user has not consumed in training are candidates; training items are
+// masked out of the ranking; metrics average over users with >= 1 test item.
+class Evaluator {
+ public:
+  // Both matrices must outlive the evaluator.
+  Evaluator(const data::InteractionMatrix* train,
+            const data::InteractionMatrix* test, uint32_t k);
+
+  uint32_t k() const { return k_; }
+
+  // Evaluates over every user that has at least one held-out test item.
+  EvalResult Evaluate(const BatchScorer& scorer) const;
+
+  // Evaluates over the given users only (those without test items are
+  // skipped). Used for sparsity-group analysis.
+  EvalResult EvaluateUsers(const BatchScorer& scorer,
+                           const std::vector<uint32_t>& users) const;
+
+ private:
+  const data::InteractionMatrix* train_;
+  const data::InteractionMatrix* test_;
+  uint32_t k_;
+};
+
+// One interaction-sparsity user group (Fig. 6): users whose *training*
+// interaction count falls in [min_interactions, max_interactions].
+struct SparsityGroup {
+  uint32_t min_interactions = 0;
+  uint32_t max_interactions = 0;
+  std::vector<uint32_t> users;
+  std::string Label() const;  // e.g. "<=60" or "61-120"
+};
+
+// Partitions test users (those with >= 1 test item) into `num_groups`
+// groups by ascending training interaction count such that each group
+// carries approximately the same *total* number of training interactions —
+// the paper's equal-total-interaction binning.
+std::vector<SparsityGroup> BuildSparsityGroups(
+    const data::InteractionMatrix& train, const data::InteractionMatrix& test,
+    uint32_t num_groups);
+
+}  // namespace hosr::eval
+
+#endif  // HOSR_EVAL_EVALUATOR_H_

@@ -1,0 +1,120 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace hosr::eval {
+
+namespace {
+
+bool IsRelevant(const std::vector<uint32_t>& relevant, uint32_t item) {
+  return std::binary_search(relevant.begin(), relevant.end(), item);
+}
+
+}  // namespace
+
+double RecallAtK(const std::vector<uint32_t>& ranked,
+                 const std::vector<uint32_t>& relevant) {
+  if (relevant.empty()) return 0.0;
+  size_t hits = 0;
+  for (const uint32_t item : ranked) {
+    if (IsRelevant(relevant, item)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double PrecisionAtK(const std::vector<uint32_t>& ranked,
+                    const std::vector<uint32_t>& relevant, uint32_t k) {
+  if (relevant.empty() || k == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t pos = 0; pos < ranked.size() && pos < k; ++pos) {
+    if (IsRelevant(relevant, ranked[pos])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double AveragePrecisionAtK(const std::vector<uint32_t>& ranked,
+                           const std::vector<uint32_t>& relevant, uint32_t k) {
+  if (relevant.empty() || k == 0) return 0.0;
+  size_t hits = 0;
+  double sum_precision = 0.0;
+  for (size_t pos = 0; pos < ranked.size() && pos < k; ++pos) {
+    if (IsRelevant(relevant, ranked[pos])) {
+      ++hits;
+      sum_precision +=
+          static_cast<double>(hits) / static_cast<double>(pos + 1);
+    }
+  }
+  const auto denom = static_cast<double>(
+      std::min<size_t>(relevant.size(), k));
+  return sum_precision / denom;
+}
+
+double NdcgAtK(const std::vector<uint32_t>& ranked,
+               const std::vector<uint32_t>& relevant, uint32_t k) {
+  if (relevant.empty() || k == 0) return 0.0;
+  double dcg = 0.0;
+  for (size_t pos = 0; pos < ranked.size() && pos < k; ++pos) {
+    if (IsRelevant(relevant, ranked[pos])) {
+      dcg += 1.0 / std::log2(static_cast<double>(pos) + 2.0);
+    }
+  }
+  double ideal = 0.0;
+  const size_t ideal_hits = std::min<size_t>(relevant.size(), k);
+  for (size_t pos = 0; pos < ideal_hits; ++pos) {
+    ideal += 1.0 / std::log2(static_cast<double>(pos) + 2.0);
+  }
+  return ideal > 0.0 ? dcg / ideal : 0.0;
+}
+
+double ReciprocalRankAtK(const std::vector<uint32_t>& ranked,
+                         const std::vector<uint32_t>& relevant, uint32_t k) {
+  if (relevant.empty() || k == 0) return 0.0;
+  for (size_t pos = 0; pos < ranked.size() && pos < k; ++pos) {
+    if (IsRelevant(relevant, ranked[pos])) {
+      return 1.0 / static_cast<double>(pos + 1);
+    }
+  }
+  return 0.0;
+}
+
+double HitRateAtK(const std::vector<uint32_t>& ranked,
+                  const std::vector<uint32_t>& relevant, uint32_t k) {
+  return ReciprocalRankAtK(ranked, relevant, k) > 0.0 ? 1.0 : 0.0;
+}
+
+std::vector<uint32_t> TopKExcluding(const float* scores, uint32_t num_items,
+                                    uint32_t k,
+                                    const std::vector<uint32_t>& excluded) {
+  // Min-heap of (score, -index) keeping the best k seen so far.
+  using Entry = std::pair<float, uint32_t>;
+  auto worse = [](const Entry& a, const Entry& b) {
+    // a is "better" than b if higher score, or equal score & lower index.
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  };
+  std::vector<Entry> heap;
+  heap.reserve(k + 1);
+  auto excluded_it = excluded.begin();
+  for (uint32_t j = 0; j < num_items; ++j) {
+    while (excluded_it != excluded.end() && *excluded_it < j) ++excluded_it;
+    if (excluded_it != excluded.end() && *excluded_it == j) continue;
+    const Entry entry{scores[j], j};
+    if (heap.size() < k) {
+      heap.push_back(entry);
+      std::push_heap(heap.begin(), heap.end(), worse);
+    } else if (!heap.empty() && worse(entry, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.back() = entry;
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), worse);
+  std::vector<uint32_t> result;
+  result.reserve(heap.size());
+  for (const Entry& e : heap) result.push_back(e.second);
+  return result;
+}
+
+}  // namespace hosr::eval

@@ -1,0 +1,117 @@
+#include "eval/significance.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace hosr::eval {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (const double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mean = Mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - mean) * (x - mean);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+namespace {
+
+// Lentz's continued fraction for the incomplete beta (Numerical Recipes).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  HOSR_CHECK(a > 0.0 && b > 0.0);
+  HOSR_CHECK(x >= 0.0 && x <= 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry transformation for faster convergence.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTTwoSidedPValue(double t, double df) {
+  if (df <= 0.0) return 1.0;
+  if (!std::isfinite(t)) return 0.0;
+  const double x = df / (df + t * t);
+  return RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+}
+
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  TTestResult result;
+  HOSR_CHECK(a.size() == b.size())
+      << "paired t-test needs matched samples: " << a.size() << " vs "
+      << b.size();
+  const size_t n = a.size();
+  if (n < 2) return result;
+  std::vector<double> diff(n);
+  for (size_t i = 0; i < n; ++i) diff[i] = a[i] - b[i];
+  const double mean_diff = Mean(diff);
+  const double var_diff = Variance(diff);
+  result.mean_difference = mean_diff;
+  result.degrees_of_freedom = static_cast<double>(n - 1);
+  if (var_diff <= 0.0) {
+    result.p_value = mean_diff == 0.0 ? 1.0 : 0.0;
+    result.t_statistic =
+        mean_diff == 0.0
+            ? 0.0
+            : std::numeric_limits<double>::infinity() * (mean_diff > 0 ? 1 : -1);
+    return result;
+  }
+  result.t_statistic =
+      mean_diff / std::sqrt(var_diff / static_cast<double>(n));
+  result.p_value =
+      StudentTTwoSidedPValue(result.t_statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace hosr::eval

@@ -1,0 +1,35 @@
+#ifndef HOSR_EVAL_SIGNIFICANCE_H_
+#define HOSR_EVAL_SIGNIFICANCE_H_
+
+#include <vector>
+
+namespace hosr::eval {
+
+// Result of a two-sided paired t-test.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;
+  double mean_difference = 0.0;
+};
+
+// Two-sided paired t-test over matched samples (e.g. per-user Recall@20 of
+// two models over the same users) — the source of Table 3's p-values.
+// Returns p = 1 when fewer than 2 pairs or zero variance of differences.
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+// Regularized incomplete beta function I_x(a, b) via continued fractions;
+// exposed for testing. Domain: a, b > 0, x in [0, 1].
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+// P(|T| > |t|) for Student's t with `df` degrees of freedom.
+double StudentTTwoSidedPValue(double t, double df);
+
+// Descriptive helpers used across benches.
+double Mean(const std::vector<double>& xs);
+double Variance(const std::vector<double>& xs);  // sample variance (n-1)
+
+}  // namespace hosr::eval
+
+#endif  // HOSR_EVAL_SIGNIFICANCE_H_

@@ -1,0 +1,45 @@
+#include "graph/laplacian.h"
+
+#include <cmath>
+
+namespace hosr::graph {
+
+namespace {
+
+CsrMatrix Normalize(const CsrMatrix& adjacency, bool add_self_loops) {
+  HOSR_CHECK(adjacency.num_rows() == adjacency.num_cols());
+  const uint32_t n = adjacency.num_rows();
+
+  std::vector<float> inv_sqrt_degree(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const auto degree = static_cast<float>(adjacency.row_nnz(i));
+    inv_sqrt_degree[i] = 1.0f / std::sqrt(std::max(degree, 1.0f));
+  }
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(adjacency.nnz() + (add_self_loops ? n : 0));
+  for (uint32_t i = 0; i < n; ++i) {
+    for (size_t k = adjacency.row_begin(i); k < adjacency.row_end(i); ++k) {
+      const uint32_t j = adjacency.col_idx()[k];
+      triplets.push_back({i, j,
+                          adjacency.values()[k] * inv_sqrt_degree[i] *
+                              inv_sqrt_degree[j]});
+    }
+    if (add_self_loops) {
+      triplets.push_back({i, i, inv_sqrt_degree[i] * inv_sqrt_degree[i]});
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+}  // namespace
+
+CsrMatrix NormalizedLaplacian(const CsrMatrix& adjacency) {
+  return Normalize(adjacency, /*add_self_loops=*/true);
+}
+
+CsrMatrix NormalizedAdjacency(const CsrMatrix& adjacency) {
+  return Normalize(adjacency, /*add_self_loops=*/false);
+}
+
+}  // namespace hosr::graph

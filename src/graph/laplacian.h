@@ -1,0 +1,23 @@
+#ifndef HOSR_GRAPH_LAPLACIAN_H_
+#define HOSR_GRAPH_LAPLACIAN_H_
+
+#include "graph/csr.h"
+
+namespace hosr::graph {
+
+// Builds the paper's propagation operator (Eq. 6):
+//   L = D^{-1/2} (A + I) D^{-1/2},
+// where A is a symmetric binary adjacency and D_tt = max(|A_t|, 1) (the
+// paper guarantees every user has >= 1 relation; the clamp keeps isolated
+// users well-defined after graph dropout). Off-diagonal entries are
+// 1/sqrt(|A_i||A_j|) — the decay factor of Eq. 1 — and the diagonal
+// self-connection entry is 1/|A_i|.
+CsrMatrix NormalizedLaplacian(const CsrMatrix& adjacency);
+
+// Variant without the self-loop: D^{-1/2} A D^{-1/2}. Used by the
+// self-connection ablation bench.
+CsrMatrix NormalizedAdjacency(const CsrMatrix& adjacency);
+
+}  // namespace hosr::graph
+
+#endif  // HOSR_GRAPH_LAPLACIAN_H_

@@ -1,0 +1,55 @@
+#include "graph/sampling.h"
+
+#include <unordered_set>
+
+namespace hosr::graph {
+
+SocialGraph GraphDropout(const SocialGraph& graph, double drop_prob,
+                         util::Rng* rng) {
+  HOSR_CHECK(drop_prob >= 0.0 && drop_prob < 1.0) << drop_prob;
+  if (drop_prob == 0.0) return graph;
+  std::vector<std::pair<uint32_t, uint32_t>> kept;
+  for (const auto& edge : graph.EdgeList()) {
+    if (!rng->Bernoulli(drop_prob)) kept.push_back(edge);
+  }
+  auto thinned = SocialGraph::FromEdges(graph.num_users(), kept);
+  HOSR_CHECK(thinned.ok()) << thinned.status().ToString();
+  return std::move(thinned).value();
+}
+
+std::vector<uint32_t> RandomWalkWithRestart(const SocialGraph& graph,
+                                            uint32_t start,
+                                            double return_prob,
+                                            uint32_t sample_size,
+                                            util::Rng* rng,
+                                            uint32_t max_steps) {
+  HOSR_CHECK(start < graph.num_users());
+  std::vector<uint32_t> sample;
+  std::unordered_set<uint32_t> seen;
+  sample.reserve(sample_size);
+
+  uint32_t current = start;
+  for (uint32_t step = 0;
+       step < max_steps && sample.size() < sample_size; ++step) {
+    if (rng->Bernoulli(return_prob)) {
+      current = start;
+      continue;
+    }
+    const uint32_t degree = graph.Degree(current);
+    if (degree == 0) {
+      // Dead end (possible after dropout); restart.
+      current = start;
+      continue;
+    }
+    const auto& adj = graph.adjacency();
+    const size_t offset =
+        adj.row_begin(current) + static_cast<size_t>(rng->UniformInt(degree));
+    current = adj.col_idx()[offset];
+    if (current != start && seen.insert(current).second) {
+      sample.push_back(current);
+    }
+  }
+  return sample;
+}
+
+}  // namespace hosr::graph

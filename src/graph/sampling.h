@@ -1,0 +1,32 @@
+#ifndef HOSR_GRAPH_SAMPLING_H_
+#define HOSR_GRAPH_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/random.h"
+
+namespace hosr::graph {
+
+// Graph dropout (Sec. 2.4): independently drops each *undirected* social
+// edge with probability `drop_prob` (both directions removed together), so
+// only (1 - p2) of the nonzero elements of A remain for the epoch.
+SocialGraph GraphDropout(const SocialGraph& graph, double drop_prob,
+                         util::Rng* rng);
+
+// Random walk with restart (DeepInf's sampler): starting from `start`,
+// repeatedly either restarts at `start` with `return_prob` or steps to a
+// uniform neighbor, collecting distinct visited users (excluding `start`)
+// until `sample_size` are found or `max_steps` walk steps elapse. Returns
+// the distinct sample in visit order.
+std::vector<uint32_t> RandomWalkWithRestart(const SocialGraph& graph,
+                                            uint32_t start,
+                                            double return_prob,
+                                            uint32_t sample_size,
+                                            util::Rng* rng,
+                                            uint32_t max_steps = 10000);
+
+}  // namespace hosr::graph
+
+#endif  // HOSR_GRAPH_SAMPLING_H_

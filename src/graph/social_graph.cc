@@ -1,0 +1,77 @@
+#include "graph/social_graph.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace hosr::graph {
+
+util::StatusOr<SocialGraph> SocialGraph::FromEdges(
+    uint32_t num_users,
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(edges.size() * 2);
+  for (const auto& [a, b] : edges) {
+    if (a == b) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("self-loop on user %u", a));
+    }
+    if (a >= num_users || b >= num_users) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("edge (%u,%u) outside %u users", a, b, num_users));
+    }
+    triplets.push_back({a, b, 1.0f});
+    triplets.push_back({b, a, 1.0f});
+  }
+  CsrMatrix adjacency =
+      CsrMatrix::FromTriplets(num_users, num_users, std::move(triplets));
+  // FromTriplets sums duplicates; clamp values back to 1 so repeated input
+  // edges do not create weighted adjacency.
+  std::vector<Triplet> clamped;
+  bool had_duplicates = false;
+  for (const float v : adjacency.values()) {
+    if (v != 1.0f) {
+      had_duplicates = true;
+      break;
+    }
+  }
+  if (had_duplicates) {
+    clamped.reserve(adjacency.nnz());
+    for (uint32_t r = 0; r < adjacency.num_rows(); ++r) {
+      for (size_t k = adjacency.row_begin(r); k < adjacency.row_end(r); ++k) {
+        clamped.push_back({r, adjacency.col_idx()[k], 1.0f});
+      }
+    }
+    adjacency =
+        CsrMatrix::FromTriplets(num_users, num_users, std::move(clamped));
+  }
+  return SocialGraph(std::move(adjacency));
+}
+
+std::vector<uint32_t> SocialGraph::Neighbors(uint32_t user) const {
+  HOSR_CHECK(user < num_users());
+  return {adjacency_.col_idx().begin() +
+              static_cast<ptrdiff_t>(adjacency_.row_begin(user)),
+          adjacency_.col_idx().begin() +
+              static_cast<ptrdiff_t>(adjacency_.row_end(user))};
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> SocialGraph::EdgeList() const {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(num_edges());
+  for (uint32_t r = 0; r < adjacency_.num_rows(); ++r) {
+    for (size_t k = adjacency_.row_begin(r); k < adjacency_.row_end(r); ++k) {
+      const uint32_t c = adjacency_.col_idx()[k];
+      if (r < c) edges.emplace_back(r, c);
+    }
+  }
+  return edges;
+}
+
+double SocialGraph::Density() const {
+  const double n = num_users();
+  if (n < 2) return 0.0;
+  return static_cast<double>(num_edges()) / (n * (n - 1) / 2.0);
+}
+
+}  // namespace hosr::graph

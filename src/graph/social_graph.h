@@ -1,0 +1,59 @@
+#ifndef HOSR_GRAPH_SOCIAL_GRAPH_H_
+#define HOSR_GRAPH_SOCIAL_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/statusor.h"
+
+namespace hosr::graph {
+
+// Undirected user-user social network: the paper's adjacency matrix A
+// (Sec. 2.1). Stored as a symmetric binary CSR with no self-loops.
+class SocialGraph {
+ public:
+  SocialGraph() = default;
+
+  // Builds from an undirected edge list. Duplicate edges (in either
+  // direction) collapse to one; self-loops are rejected.
+  static util::StatusOr<SocialGraph> FromEdges(
+      uint32_t num_users, const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  uint32_t num_users() const { return adjacency_.num_rows(); }
+  // Number of undirected edges |A| (each stored twice in the CSR).
+  size_t num_edges() const { return adjacency_.nnz() / 2; }
+
+  // Symmetric binary adjacency (value 1.0 per stored direction).
+  const CsrMatrix& adjacency() const { return adjacency_; }
+
+  // |A_i|: number of first-order neighbors of user i.
+  uint32_t Degree(uint32_t user) const {
+    return static_cast<uint32_t>(adjacency_.row_nnz(user));
+  }
+
+  // Neighbors of `user` in ascending order.
+  std::vector<uint32_t> Neighbors(uint32_t user) const;
+
+  bool HasEdge(uint32_t a, uint32_t b) const {
+    return adjacency_.At(a, b) != 0.0f;
+  }
+
+  // Undirected edge list with a < b, ascending. Round-trips with FromEdges.
+  std::vector<std::pair<uint32_t, uint32_t>> EdgeList() const;
+
+  // Fraction of possible (unordered) user pairs that are connected —
+  // Table 2's "User-User density".
+  double Density() const;
+
+ private:
+  explicit SocialGraph(CsrMatrix adjacency)
+      : adjacency_(std::move(adjacency)) {}
+
+  CsrMatrix adjacency_;
+};
+
+}  // namespace hosr::graph
+
+#endif  // HOSR_GRAPH_SOCIAL_GRAPH_H_

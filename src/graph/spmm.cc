@@ -1,0 +1,61 @@
+#include "graph/spmm.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace hosr::graph {
+
+void Spmm(const CsrMatrix& sparse, const tensor::Matrix& dense,
+          tensor::Matrix* out) {
+  HOSR_CHECK(dense.rows() == sparse.num_cols())
+      << dense.rows() << " vs " << sparse.num_cols();
+  HOSR_CHECK(out->rows() == sparse.num_rows() && out->cols() == dense.cols());
+  HOSR_CHECK(out != &dense) << "Spmm does not support aliasing";
+  const size_t d = dense.cols();
+
+  const size_t avg_row_nnz =
+      std::max<size_t>(1, sparse.nnz() / std::max<uint32_t>(1, sparse.num_rows()));
+  const size_t grain = std::max<size_t>(16, 16384 / std::max<size_t>(1, avg_row_nnz * d));
+
+  util::ParallelFor(
+      0, sparse.num_rows(),
+      [&](size_t row_begin, size_t row_end) {
+        for (size_t r = row_begin; r < row_end; ++r) {
+          float* out_row = out->row(r);
+          std::fill(out_row, out_row + d, 0.0f);
+          for (size_t k = sparse.row_begin(static_cast<uint32_t>(r));
+               k < sparse.row_end(static_cast<uint32_t>(r)); ++k) {
+            const float v = sparse.values()[k];
+            const float* in_row = dense.row(sparse.col_idx()[k]);
+            for (size_t c = 0; c < d; ++c) out_row[c] += v * in_row[c];
+          }
+        }
+      },
+      grain);
+}
+
+tensor::Matrix Spmm(const CsrMatrix& sparse, const tensor::Matrix& dense) {
+  tensor::Matrix out(sparse.num_rows(), dense.cols());
+  Spmm(sparse, dense, &out);
+  return out;
+}
+
+void SpmmTranspose(const CsrMatrix& sparse, const tensor::Matrix& dense,
+                   tensor::Matrix* out) {
+  HOSR_CHECK(dense.rows() == sparse.num_rows());
+  HOSR_CHECK(out->rows() == sparse.num_cols() && out->cols() == dense.cols());
+  HOSR_CHECK(out != &dense) << "SpmmTranspose does not support aliasing";
+  out->SetZero();
+  const size_t d = dense.cols();
+  for (uint32_t r = 0; r < sparse.num_rows(); ++r) {
+    const float* in_row = dense.row(r);
+    for (size_t k = sparse.row_begin(r); k < sparse.row_end(r); ++k) {
+      const float v = sparse.values()[k];
+      float* out_row = out->row(sparse.col_idx()[k]);
+      for (size_t c = 0; c < d; ++c) out_row[c] += v * in_row[c];
+    }
+  }
+}
+
+}  // namespace hosr::graph

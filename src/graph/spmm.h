@@ -1,0 +1,27 @@
+#ifndef HOSR_GRAPH_SPMM_H_
+#define HOSR_GRAPH_SPMM_H_
+
+#include "graph/csr.h"
+#include "tensor/matrix.h"
+
+namespace hosr::graph {
+
+// out = sparse * dense. dense is (sparse.num_cols x d); out must be
+// pre-sized to (sparse.num_rows x d). Threaded over output rows; cost
+// O(nnz * d) — the linear-in-|A| propagation cost of Sec. 2.5.
+void Spmm(const CsrMatrix& sparse, const tensor::Matrix& dense,
+          tensor::Matrix* out);
+
+// Convenience allocating form.
+tensor::Matrix Spmm(const CsrMatrix& sparse, const tensor::Matrix& dense);
+
+// out = sparse^T * dense without materializing the transpose; used by the
+// autograd backward pass of Spmm. dense is (sparse.num_rows x d); out must
+// be pre-sized to (sparse.num_cols x d). Single-threaded scatter (kept
+// deterministic); prefer passing an explicit transposed CSR for hot paths.
+void SpmmTranspose(const CsrMatrix& sparse, const tensor::Matrix& dense,
+                   tensor::Matrix* out);
+
+}  // namespace hosr::graph
+
+#endif  // HOSR_GRAPH_SPMM_H_

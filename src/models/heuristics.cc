@@ -1,0 +1,91 @@
+#include "models/heuristics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/thread_pool.h"
+
+namespace hosr::models {
+
+MostPopular::MostPopular(const data::InteractionMatrix& train)
+    : item_scores_(train.num_items(), 0.0f) {
+  for (uint32_t u = 0; u < train.num_users(); ++u) {
+    for (const uint32_t item : train.ItemsOf(u)) item_scores_[item] += 1.0f;
+  }
+}
+
+tensor::Matrix MostPopular::ScoreAllItems(
+    const std::vector<uint32_t>& users) const {
+  tensor::Matrix scores(users.size(), item_scores_.size());
+  for (size_t b = 0; b < users.size(); ++b) {
+    std::copy(item_scores_.begin(), item_scores_.end(), scores.row(b));
+  }
+  return scores;
+}
+
+ItemKnn::ItemKnn(const data::InteractionMatrix& train, const Config& config)
+    : train_(&train),
+      num_items_(train.num_items()),
+      neighbors_(train.num_items()) {
+  const auto item_index = train.BuildItemIndex();
+
+  util::ParallelFor(
+      0, num_items_,
+      [&](size_t begin, size_t end) {
+        std::unordered_map<uint32_t, uint32_t> co_counts;
+        for (size_t item = begin; item < end; ++item) {
+          co_counts.clear();
+          const auto& users = item_index[item];
+          if (users.empty()) continue;
+          for (const uint32_t u : users) {
+            for (const uint32_t other : train.ItemsOf(u)) {
+              if (other != item) ++co_counts[other];
+            }
+          }
+          std::vector<std::pair<uint32_t, float>> sims;
+          sims.reserve(co_counts.size());
+          const auto size_a = static_cast<float>(users.size());
+          for (const auto& [other, co] : co_counts) {
+            const auto size_b =
+                static_cast<float>(item_index[other].size());
+            const float sim = static_cast<float>(co) /
+                              (std::sqrt(size_a * size_b) + config.shrinkage);
+            sims.emplace_back(other, sim);
+          }
+          const size_t keep =
+              std::min<size_t>(config.max_neighbors, sims.size());
+          std::partial_sort(sims.begin(), sims.begin() + keep, sims.end(),
+                            [](const auto& a, const auto& b) {
+                              if (a.second != b.second) {
+                                return a.second > b.second;
+                              }
+                              return a.first < b.first;
+                            });
+          sims.resize(keep);
+          neighbors_[item] = std::move(sims);
+        }
+      },
+      /*min_chunk=*/16);
+}
+
+tensor::Matrix ItemKnn::ScoreAllItems(
+    const std::vector<uint32_t>& users) const {
+  tensor::Matrix scores(users.size(), num_items_);
+  util::ParallelFor(
+      0, users.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t b = begin; b < end; ++b) {
+          float* row = scores.row(b);
+          for (const uint32_t consumed : train_->ItemsOf(users[b])) {
+            for (const auto& [neighbor, sim] : neighbors_[consumed]) {
+              row[neighbor] += sim;
+            }
+          }
+        }
+      },
+      /*min_chunk=*/8);
+  return scores;
+}
+
+}  // namespace hosr::models

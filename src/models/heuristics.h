@@ -1,0 +1,66 @@
+#ifndef HOSR_MODELS_HEURISTICS_H_
+#define HOSR_MODELS_HEURISTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/interactions.h"
+#include "tensor/matrix.h"
+
+namespace hosr::models {
+
+// Non-learning reference recommenders. They are not part of the paper's
+// Table 3 but are the sanity floor any learned model must clear, and they
+// plug into the same BatchScorer-based evaluation.
+
+// Ranks every item by global popularity (training interaction count).
+class MostPopular {
+ public:
+  explicit MostPopular(const data::InteractionMatrix& train);
+
+  std::string name() const { return "MostPopular"; }
+  uint32_t num_items() const {
+    return static_cast<uint32_t>(item_scores_.size());
+  }
+
+  // (|users| x m): identical rows of popularity scores.
+  tensor::Matrix ScoreAllItems(const std::vector<uint32_t>& users) const;
+
+ private:
+  std::vector<float> item_scores_;
+};
+
+// Item-based collaborative filtering with cosine similarity over the
+// binary interaction matrix: score(u, j) = sum over j' in I_u of
+// sim(j, j'), with similarities truncated to the top `max_neighbors` per
+// item for speed and noise control.
+class ItemKnn {
+ public:
+  struct Config {
+    uint32_t max_neighbors = 50;
+    // Similarity shrinkage: sim = co / (sqrt(|U_a||U_b|) + shrinkage).
+    float shrinkage = 1.0f;
+  };
+
+  ItemKnn(const data::InteractionMatrix& train, const Config& config);
+
+  std::string name() const { return "ItemKNN"; }
+  uint32_t num_items() const { return num_items_; }
+
+  tensor::Matrix ScoreAllItems(const std::vector<uint32_t>& users) const;
+
+  // Top similarity list of one item (for tests): (neighbor, similarity).
+  const std::vector<std::pair<uint32_t, float>>& NeighborsOf(
+      uint32_t item) const {
+    return neighbors_[item];
+  }
+
+ private:
+  const data::InteractionMatrix* train_;
+  uint32_t num_items_;
+  std::vector<std::vector<std::pair<uint32_t, float>>> neighbors_;
+};
+
+}  // namespace hosr::models
+
+#endif  // HOSR_MODELS_HEURISTICS_H_

@@ -1,0 +1,77 @@
+#include "models/trainer.h"
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace hosr::models {
+
+util::Status TrainConfig::Validate() const {
+  if (epochs == 0) return util::Status::InvalidArgument("epochs must be > 0");
+  if (batch_size == 0) {
+    return util::Status::InvalidArgument("batch_size must be > 0");
+  }
+  if (learning_rate <= 0.0f) {
+    return util::Status::InvalidArgument("learning_rate must be > 0");
+  }
+  if (weight_decay < 0.0f) {
+    return util::Status::InvalidArgument("weight_decay must be >= 0");
+  }
+  return util::Status::Ok();
+}
+
+BprTrainer::BprTrainer(RankingModel* model,
+                       const data::InteractionMatrix* train,
+                       const TrainConfig& config)
+    : model_(model),
+      train_(train),
+      config_(config),
+      sampler_(train, config.seed ^ 0xb5297a4d3f84d5a5ULL,
+               config.negative_sampling),
+      optimizer_(optim::MakeOptimizer(config.optimizer, config.learning_rate,
+                                      config.weight_decay)),
+      rng_(config.seed) {
+  HOSR_CHECK(config.Validate().ok()) << config.Validate().ToString();
+}
+
+EpochStats BprTrainer::RunEpoch() {
+  util::WallTimer timer;
+  model_->OnEpochBegin(epoch_, &rng_);
+
+  // One epoch = enough batches to cover every observed interaction once in
+  // expectation (the standard BPR protocol).
+  const size_t num_batches = std::max<size_t>(
+      1, (sampler_.num_positives() + config_.batch_size - 1) /
+             config_.batch_size);
+  double total_loss = 0.0;
+  for (size_t b = 0; b < num_batches; ++b) {
+    const data::BprBatch batch = sampler_.SampleBatch(config_.batch_size);
+    autograd::Tape tape;
+    autograd::Value loss = model_->BuildLoss(&tape, batch, &rng_);
+    model_->params()->ZeroGrad();
+    tape.Backward(loss);
+    optimizer_->Step(model_->params());
+    total_loss += loss.value()(0, 0);
+  }
+
+  EpochStats stats;
+  stats.epoch = epoch_;
+  stats.avg_loss = total_loss / static_cast<double>(num_batches);
+  stats.seconds = timer.ElapsedSeconds();
+  if (config_.verbose) {
+    HOSR_LOG(Info) << model_->name() << " epoch " << epoch_ << " loss "
+                   << stats.avg_loss << " (" << stats.seconds << "s)";
+  }
+  ++epoch_;
+  return stats;
+}
+
+std::vector<EpochStats> BprTrainer::Train() {
+  std::vector<EpochStats> history;
+  history.reserve(config_.epochs);
+  for (uint32_t e = 0; e < config_.epochs; ++e) {
+    history.push_back(RunEpoch());
+  }
+  return history;
+}
+
+}  // namespace hosr::models

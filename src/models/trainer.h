@@ -1,0 +1,68 @@
+#ifndef HOSR_MODELS_TRAINER_H_
+#define HOSR_MODELS_TRAINER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/interactions.h"
+#include "models/model.h"
+#include "optim/optimizer.h"
+#include "util/statusor.h"
+
+namespace hosr::models {
+
+// Hyper-parameters of the paper's training protocol (Sec. 3.1).
+struct TrainConfig {
+  uint32_t epochs = 30;
+  uint32_t batch_size = 512;           // fixed to 512 in the paper
+  float learning_rate = 0.001f;        // tuned in {1e-4..5e-3}
+  float weight_decay = 0.001f;         // the L2 coefficient lambda
+  std::string optimizer = "rmsprop";   // the paper's optimizer
+  data::NegativeSampling negative_sampling =
+      data::NegativeSampling::kUniform;  // the paper's protocol
+  uint64_t seed = 1;
+  bool verbose = false;                // log per-epoch loss
+
+  util::Status Validate() const;
+};
+
+// Progress record for one epoch.
+struct EpochStats {
+  uint32_t epoch = 0;
+  double avg_loss = 0.0;
+  double seconds = 0.0;
+};
+
+// Generic mini-batch trainer: samples BPR triples from the training matrix,
+// asks the model for its loss, backpropagates, and steps the optimizer.
+// Works unchanged for HOSR and all six baselines.
+class BprTrainer {
+ public:
+  // `model` and `train` must outlive the trainer.
+  BprTrainer(RankingModel* model, const data::InteractionMatrix* train,
+             const TrainConfig& config);
+
+  // Runs `config.epochs` epochs; returns per-epoch stats.
+  std::vector<EpochStats> Train();
+
+  // Runs a single epoch (one pass worth of sampled batches); exposed so
+  // benches can interleave training with evaluation snapshots.
+  EpochStats RunEpoch();
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  RankingModel* model_;
+  const data::InteractionMatrix* train_;
+  TrainConfig config_;
+  data::BprSampler sampler_;
+  std::unique_ptr<optim::Optimizer> optimizer_;
+  util::Rng rng_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace hosr::models
+
+#endif  // HOSR_MODELS_TRAINER_H_

@@ -1,0 +1,117 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hosr::optim {
+
+namespace {
+
+// Lazily sizes per-parameter optimizer state to match the store.
+void EnsureState(const autograd::ParamStore& params,
+                 std::vector<tensor::Matrix>* state) {
+  if (state->size() == params.size()) return;
+  HOSR_CHECK(state->empty())
+      << "parameter store changed size after optimization started";
+  state->reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const autograd::Param* p = params.at(i);
+    state->emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+}  // namespace
+
+void Sgd::Step(autograd::ParamStore* params) {
+  EnsureState(*params, &velocity_);
+  for (size_t i = 0; i < params->size(); ++i) {
+    autograd::Param* p = params->at(i);
+    float* value = p->value.data();
+    float* vel = velocity_[i].data();
+    const size_t n = p->value.size();
+    for (size_t j = 0; j < n; ++j) {
+      const float g = RegularizedGrad(*p, j);
+      if (momentum_ != 0.0f) {
+        vel[j] = momentum_ * vel[j] + g;
+        value[j] -= learning_rate_ * vel[j];
+      } else {
+        value[j] -= learning_rate_ * g;
+      }
+    }
+  }
+}
+
+void RmsProp::Step(autograd::ParamStore* params) {
+  EnsureState(*params, &mean_square_);
+  for (size_t i = 0; i < params->size(); ++i) {
+    autograd::Param* p = params->at(i);
+    float* value = p->value.data();
+    float* ms = mean_square_[i].data();
+    const size_t n = p->value.size();
+    for (size_t j = 0; j < n; ++j) {
+      const float g = RegularizedGrad(*p, j);
+      ms[j] = decay_ * ms[j] + (1.0f - decay_) * g * g;
+      value[j] -= learning_rate_ * g / (std::sqrt(ms[j]) + epsilon_);
+    }
+  }
+}
+
+void Adam::Step(autograd::ParamStore* params) {
+  EnsureState(*params, &m_);
+  EnsureState(*params, &v_);
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params->size(); ++i) {
+    autograd::Param* p = params->at(i);
+    float* value = p->value.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const size_t n = p->value.size();
+    for (size_t j = 0; j < n; ++j) {
+      const float g = RegularizedGrad(*p, j);
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      value[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+void AdaGrad::Step(autograd::ParamStore* params) {
+  EnsureState(*params, &accum_);
+  for (size_t i = 0; i < params->size(); ++i) {
+    autograd::Param* p = params->at(i);
+    float* value = p->value.data();
+    float* acc = accum_[i].data();
+    const size_t n = p->value.size();
+    for (size_t j = 0; j < n; ++j) {
+      const float g = RegularizedGrad(*p, j);
+      acc[j] += g * g;
+      value[j] -= learning_rate_ * g / (std::sqrt(acc[j]) + epsilon_);
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(const std::string& name,
+                                         float learning_rate,
+                                         float weight_decay) {
+  if (name == "sgd") {
+    return std::make_unique<Sgd>(learning_rate, weight_decay);
+  }
+  if (name == "rmsprop") {
+    return std::make_unique<RmsProp>(learning_rate, weight_decay);
+  }
+  if (name == "adam") {
+    return std::make_unique<Adam>(learning_rate, weight_decay);
+  }
+  if (name == "adagrad") {
+    return std::make_unique<AdaGrad>(learning_rate, weight_decay);
+  }
+  HOSR_CHECK(false) << "unknown optimizer: " << name;
+  return nullptr;
+}
+
+}  // namespace hosr::optim

@@ -1,0 +1,120 @@
+#ifndef HOSR_OPTIM_OPTIMIZER_H_
+#define HOSR_OPTIM_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/param.h"
+
+namespace hosr::optim {
+
+// Base class for first-order optimizers over a ParamStore. Optimizers apply
+// decoupled L2 regularization (`weight_decay` = the paper's lambda): the
+// update sees grad + weight_decay * value.
+class Optimizer {
+ public:
+  explicit Optimizer(float learning_rate, float weight_decay = 0.0f)
+      : learning_rate_(learning_rate), weight_decay_(weight_decay) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update from the accumulated gradients, then leaves the
+  // gradients untouched (caller zeroes via ParamStore::ZeroGrad).
+  virtual void Step(autograd::ParamStore* params) = 0;
+
+  virtual std::string name() const = 0;
+
+  float learning_rate() const { return learning_rate_; }
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float weight_decay() const { return weight_decay_; }
+
+ protected:
+  // grad + weight_decay * value, element i of parameter p.
+  float RegularizedGrad(const autograd::Param& p, size_t i) const {
+    return p.grad.data()[i] + weight_decay_ * p.value.data()[i];
+  }
+
+  float learning_rate_;
+  float weight_decay_;
+};
+
+// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(float learning_rate, float weight_decay = 0.0f, float momentum = 0.0f)
+      : Optimizer(learning_rate, weight_decay), momentum_(momentum) {}
+
+  void Step(autograd::ParamStore* params) override;
+  std::string name() const override { return "sgd"; }
+
+ private:
+  float momentum_;
+  std::vector<tensor::Matrix> velocity_;
+};
+
+// RMSprop (Hinton lecture 6a) — the optimizer the paper trains with.
+class RmsProp : public Optimizer {
+ public:
+  RmsProp(float learning_rate, float weight_decay = 0.0f, float decay = 0.9f,
+          float epsilon = 1e-8f)
+      : Optimizer(learning_rate, weight_decay),
+        decay_(decay),
+        epsilon_(epsilon) {}
+
+  void Step(autograd::ParamStore* params) override;
+  std::string name() const override { return "rmsprop"; }
+
+ private:
+  float decay_;
+  float epsilon_;
+  std::vector<tensor::Matrix> mean_square_;
+};
+
+// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(float learning_rate, float weight_decay = 0.0f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float epsilon = 1e-8f)
+      : Optimizer(learning_rate, weight_decay),
+        beta1_(beta1),
+        beta2_(beta2),
+        epsilon_(epsilon) {}
+
+  void Step(autograd::ParamStore* params) override;
+  std::string name() const override { return "adam"; }
+
+ private:
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  int64_t t_ = 0;
+  std::vector<tensor::Matrix> m_;
+  std::vector<tensor::Matrix> v_;
+};
+
+// AdaGrad (Duchi et al.).
+class AdaGrad : public Optimizer {
+ public:
+  AdaGrad(float learning_rate, float weight_decay = 0.0f,
+          float epsilon = 1e-8f)
+      : Optimizer(learning_rate, weight_decay), epsilon_(epsilon) {}
+
+  void Step(autograd::ParamStore* params) override;
+  std::string name() const override { return "adagrad"; }
+
+ private:
+  float epsilon_;
+  std::vector<tensor::Matrix> accum_;
+};
+
+// Factory by name: "sgd", "rmsprop", "adam", "adagrad".
+std::unique_ptr<Optimizer> MakeOptimizer(const std::string& name,
+                                         float learning_rate,
+                                         float weight_decay);
+
+}  // namespace hosr::optim
+
+#endif  // HOSR_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,289 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/thread_pool.h"
+
+namespace hosr::tensor {
+
+namespace {
+
+// Minimum elements per task chunk; below this, threading overhead dominates.
+constexpr size_t kParallelGrain = 16 * 1024;
+
+void CheckSameShape(const Matrix& a, const Matrix& b) {
+  HOSR_CHECK(a.SameShape(b)) << a.rows() << "x" << a.cols() << " vs "
+                             << b.rows() << "x" << b.cols();
+}
+
+}  // namespace
+
+void Gemm(const Matrix& a, bool transpose_a, const Matrix& b, bool transpose_b,
+          float alpha, float beta, Matrix* out) {
+  const size_t m = transpose_a ? a.cols() : a.rows();
+  const size_t k = transpose_a ? a.rows() : a.cols();
+  const size_t k2 = transpose_b ? b.cols() : b.rows();
+  const size_t n = transpose_b ? b.rows() : b.cols();
+  HOSR_CHECK(k == k2) << "inner dims " << k << " vs " << k2;
+  HOSR_CHECK(out->rows() == m && out->cols() == n)
+      << "out " << out->rows() << "x" << out->cols() << " want " << m << "x"
+      << n;
+  HOSR_CHECK(out != &a && out != &b) << "Gemm does not support aliasing";
+
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
+  // the (possibly logically transposed) operands. For transposed B we
+  // materialize nothing: B^T(kk, j) = B(j, kk) is strided, so instead we use
+  // the j-major inner loop with an accumulator.
+  util::ParallelFor(
+      0, m,
+      [&](size_t row_begin, size_t row_end) {
+        for (size_t i = row_begin; i < row_end; ++i) {
+          float* out_row = out->row(i);
+          if (beta == 0.0f) {
+            std::fill(out_row, out_row + n, 0.0f);
+          } else if (beta != 1.0f) {
+            for (size_t j = 0; j < n; ++j) out_row[j] *= beta;
+          }
+          if (!transpose_b) {
+            for (size_t kk = 0; kk < k; ++kk) {
+              const float a_ik =
+                  transpose_a ? a(kk, i) : a(i, kk);
+              if (a_ik == 0.0f) continue;
+              const float scaled = alpha * a_ik;
+              const float* b_row = b.row(kk);
+              for (size_t j = 0; j < n; ++j) out_row[j] += scaled * b_row[j];
+            }
+          } else {
+            for (size_t j = 0; j < n; ++j) {
+              const float* b_row = b.row(j);
+              float acc = 0.0f;
+              for (size_t kk = 0; kk < k; ++kk) {
+                const float a_ik = transpose_a ? a(kk, i) : a(i, kk);
+                acc += a_ik * b_row[kk];
+              }
+              out_row[j] += alpha * acc;
+            }
+          }
+        }
+      },
+      std::max<size_t>(1, kParallelGrain / std::max<size_t>(1, n * k)));
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  Gemm(a, false, b, false, 1.0f, 0.0f, &out);
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  Matrix out = a;
+  const float* bp = b.data();
+  float* op = out.data();
+  for (size_t i = 0; i < out.size(); ++i) op[i] += bp[i];
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  Matrix out = a;
+  const float* bp = b.data();
+  float* op = out.data();
+  for (size_t i = 0; i < out.size(); ++i) op[i] -= bp[i];
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  Matrix out = a;
+  const float* bp = b.data();
+  float* op = out.data();
+  for (size_t i = 0; i < out.size(); ++i) op[i] *= bp[i];
+  return out;
+}
+
+Matrix Scale(const Matrix& a, float s) {
+  Matrix out = a;
+  float* op = out.data();
+  for (size_t i = 0; i < out.size(); ++i) op[i] *= s;
+  return out;
+}
+
+void Axpy(float alpha, const Matrix& b, Matrix* a) {
+  CheckSameShape(*a, b);
+  float* ap = a->data();
+  const float* bp = b.data();
+  const size_t n = a->size();
+  for (size_t i = 0; i < n; ++i) ap[i] += alpha * bp[i];
+}
+
+void Apply(Matrix* m, float (*fn)(float)) {
+  float* p = m->data();
+  const size_t n = m->size();
+  util::ParallelFor(
+      0, n,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) p[i] = fn(p[i]);
+      },
+      kParallelGrain);
+}
+
+Matrix Tanh(const Matrix& a) {
+  Matrix out = a;
+  Apply(&out, [](float x) { return std::tanh(x); });
+  return out;
+}
+
+Matrix Relu(const Matrix& a) {
+  Matrix out = a;
+  Apply(&out, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return out;
+}
+
+Matrix Sigmoid(const Matrix& a) {
+  Matrix out = a;
+  Apply(&out, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  return out;
+}
+
+Matrix RowDot(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  Matrix out(a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* ar = a.row(r);
+    const float* br = b.row(r);
+    float acc = 0.0f;
+    for (size_t c = 0; c < a.cols(); ++c) acc += ar[c] * br[c];
+    out(r, 0) = acc;
+  }
+  return out;
+}
+
+Matrix RowSum(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* ar = a.row(r);
+    float acc = 0.0f;
+    for (size_t c = 0; c < a.cols(); ++c) acc += ar[c];
+    out(r, 0) = acc;
+  }
+  return out;
+}
+
+Matrix ColSum(const Matrix& a) {
+  Matrix out(1, a.cols());
+  float* op = out.data();
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* ar = a.row(r);
+    for (size_t c = 0; c < a.cols(); ++c) op[c] += ar[c];
+  }
+  return out;
+}
+
+Matrix RowSoftmax(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* ar = a.row(r);
+    float* orow = out.row(r);
+    float max_val = ar[0];
+    for (size_t c = 1; c < a.cols(); ++c) max_val = std::max(max_val, ar[c]);
+    float denom = 0.0f;
+    for (size_t c = 0; c < a.cols(); ++c) {
+      orow[c] = std::exp(ar[c] - max_val);
+      denom += orow[c];
+    }
+    const float inv = 1.0f / denom;
+    for (size_t c = 0; c < a.cols(); ++c) orow[c] *= inv;
+  }
+  return out;
+}
+
+Matrix BroadcastColMul(const Matrix& a, const Matrix& scale) {
+  HOSR_CHECK(scale.rows() == a.rows() && scale.cols() == 1)
+      << "scale must be (" << a.rows() << " x 1), got " << scale.rows() << "x"
+      << scale.cols();
+  Matrix out = a;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float s = scale(r, 0);
+    float* orow = out.row(r);
+    for (size_t c = 0; c < a.cols(); ++c) orow[c] *= s;
+  }
+  return out;
+}
+
+Matrix GatherRows(const Matrix& a, const std::vector<uint32_t>& indices) {
+  Matrix out(indices.size(), a.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    HOSR_CHECK(indices[i] < a.rows()) << indices[i] << " >= " << a.rows();
+    std::copy(a.row(indices[i]), a.row(indices[i]) + a.cols(), out.row(i));
+  }
+  return out;
+}
+
+void ScatterAddRows(const Matrix& a, const std::vector<uint32_t>& indices,
+                    Matrix* out) {
+  HOSR_CHECK(indices.size() == a.rows());
+  HOSR_CHECK(out->cols() == a.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    HOSR_CHECK(indices[i] < out->rows());
+    const float* src = a.row(i);
+    float* dst = out->row(indices[i]);
+    for (size_t c = 0; c < a.cols(); ++c) dst[c] += src[c];
+  }
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* ar = a.row(r);
+    for (size_t c = 0; c < a.cols(); ++c) out(c, r) = ar[c];
+  }
+  return out;
+}
+
+double SquaredNorm(const Matrix& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (size_t i = 0; i < a.size(); ++i) acc += static_cast<double>(p[i]) * p[i];
+  return acc;
+}
+
+double Sum(const Matrix& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (size_t i = 0; i < a.size(); ++i) acc += p[i];
+  return acc;
+}
+
+double Mean(const Matrix& a) {
+  HOSR_CHECK(a.size() > 0);
+  return Sum(a) / static_cast<double>(a.size());
+}
+
+double MaxAbs(const Matrix& a) {
+  double best = 0.0;
+  const float* p = a.data();
+  for (size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, static_cast<double>(std::fabs(p[i])));
+  }
+  return best;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b);
+  double best = 0.0;
+  const float* ap = a.data();
+  const float* bp = b.data();
+  for (size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, static_cast<double>(std::fabs(ap[i] - bp[i])));
+  }
+  return best;
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, double tol) {
+  if (!a.SameShape(b)) return false;
+  return MaxAbsDiff(a, b) <= tol;
+}
+
+}  // namespace hosr::tensor

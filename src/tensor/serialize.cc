@@ -1,0 +1,61 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace hosr::tensor {
+
+namespace {
+constexpr uint32_t kMagic = 0x484f5352;  // "HOSR"
+}  // namespace
+
+util::Status WriteMatrix(const Matrix& m, std::ostream* out) {
+  const uint32_t magic = kMagic;
+  const uint64_t rows = m.rows();
+  const uint64_t cols = m.cols();
+  out->write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out->write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out->write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out->write(reinterpret_cast<const char*>(m.data()),
+             static_cast<std::streamsize>(m.size() * sizeof(float)));
+  if (!*out) return util::Status::IoError("matrix write failed");
+  return util::Status::Ok();
+}
+
+util::StatusOr<Matrix> ReadMatrix(std::istream* in) {
+  uint32_t magic = 0;
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  in->read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!*in) return util::Status::IoError("matrix header read failed");
+  if (magic != kMagic) {
+    return util::Status::InvalidArgument("bad matrix magic");
+  }
+  in->read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in->read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!*in) return util::Status::IoError("matrix dims read failed");
+  // Sanity bound: refuse absurd allocations from corrupt headers.
+  if (rows > (1ULL << 32) || cols > (1ULL << 32) ||
+      rows * cols > (1ULL << 34)) {
+    return util::Status::InvalidArgument("matrix dims implausibly large");
+  }
+  Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  in->read(reinterpret_cast<char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(float)));
+  if (!*in) return util::Status::IoError("matrix payload read failed");
+  return m;
+}
+
+util::Status SaveMatrix(const Matrix& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::Status::IoError("cannot open for writing: " + path);
+  return WriteMatrix(m, &out);
+}
+
+util::StatusOr<Matrix> LoadMatrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IoError("cannot open for reading: " + path);
+  return ReadMatrix(&in);
+}
+
+}  // namespace hosr::tensor

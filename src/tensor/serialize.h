@@ -1,0 +1,24 @@
+#ifndef HOSR_TENSOR_SERIALIZE_H_
+#define HOSR_TENSOR_SERIALIZE_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "tensor/matrix.h"
+#include "util/statusor.h"
+
+namespace hosr::tensor {
+
+// Binary matrix (de)serialization: magic, dims, raw float payload.
+// Used to checkpoint trained embeddings.
+
+util::Status WriteMatrix(const Matrix& m, std::ostream* out);
+util::StatusOr<Matrix> ReadMatrix(std::istream* in);
+
+util::Status SaveMatrix(const Matrix& m, const std::string& path);
+util::StatusOr<Matrix> LoadMatrix(const std::string& path);
+
+}  // namespace hosr::tensor
+
+#endif  // HOSR_TENSOR_SERIALIZE_H_

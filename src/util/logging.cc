@@ -1,0 +1,87 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+namespace hosr::util {
+
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+// Serializes writes so concurrent log lines do not interleave.
+std::mutex& LogMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+void EmitLine(LogLevel level, const char* file, int line,
+              const std::string& body) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t now_t = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf;
+  localtime_r(&now_t, &tm_buf);
+  char time_buf[32];
+  std::strftime(time_buf, sizeof(time_buf), "%H:%M:%S", &tm_buf);
+
+  // Strip directories from the path for compact output.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fprintf(stderr, "%s %s %s:%d] %s\n", LevelTag(level), time_buf, base,
+               line, body.c_str());
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetLogLevel()) {
+    EmitLine(level_, file_, line_, stream_.str());
+  }
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition)
+    : file_(file), line_(line) {
+  stream_ << "Check failed: " << condition << " ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  EmitLine(LogLevel::kError, file_, line_, stream_.str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+
+}  // namespace hosr::util

@@ -1,0 +1,78 @@
+#ifndef HOSR_UTIL_LOGGING_H_
+#define HOSR_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hosr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Minimum level actually emitted; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+// Accumulates one log line and flushes it (with timestamp and level tag) on
+// destruction. Created only via the HOSR_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Like LogMessage but aborts the process after flushing. Used by HOSR_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Lets HOSR_CHECK be used as a statement of type void in ternary position.
+struct FatalVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+#define HOSR_LOG(level)                                          \
+  ::hosr::util::internal_logging::LogMessage(                    \
+      ::hosr::util::LogLevel::k##level, __FILE__, __LINE__)      \
+      .stream()
+
+// Fatal assertion for internal invariants (not for user-input validation —
+// use Status for that). Streams extra context: HOSR_CHECK(x > 0) << "x=" << x;
+#define HOSR_CHECK(condition)                                        \
+  (condition) ? (void)0                                              \
+              : ::hosr::util::internal_logging::FatalVoidify() &     \
+                    ::hosr::util::internal_logging::FatalLogMessage( \
+                        __FILE__, __LINE__, #condition)              \
+                        .stream()
+
+}  // namespace hosr::util
+
+#endif  // HOSR_UTIL_LOGGING_H_

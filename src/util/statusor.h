@@ -1,0 +1,69 @@
+#ifndef HOSR_UTIL_STATUSOR_H_
+#define HOSR_UTIL_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace hosr::util {
+
+// Holds either a value of type T or a non-OK Status explaining why the value
+// is absent. Accessing the value of a non-OK StatusOr aborts the process
+// (programming error), mirroring absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work
+  // inside functions returning StatusOr<T>.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    HOSR_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    HOSR_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    HOSR_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    HOSR_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Assigns the value of a StatusOr expression to `lhs`, or propagates its
+// error status to the caller.
+#define HOSR_ASSIGN_OR_RETURN(lhs, expr)            \
+  HOSR_ASSIGN_OR_RETURN_IMPL_(                      \
+      HOSR_STATUS_CONCAT_(_hosr_statusor, __LINE__), lhs, expr)
+
+#define HOSR_STATUS_CONCAT_INNER_(a, b) a##b
+#define HOSR_STATUS_CONCAT_(a, b) HOSR_STATUS_CONCAT_INNER_(a, b)
+#define HOSR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace hosr::util
+
+#endif  // HOSR_UTIL_STATUSOR_H_

@@ -1,0 +1,58 @@
+#ifndef HOSR_UTIL_THREAD_POOL_H_
+#define HOSR_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hosr::util {
+
+// Fixed-size worker pool with a simple FIFO queue. Destruction drains the
+// queue, then joins workers.
+class ThreadPool {
+ public:
+  // num_threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task for execution on a worker thread.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void Wait();
+
+  // Process-wide shared pool, sized to the hardware.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+// Splits [begin, end) into contiguous chunks and runs
+// `body(chunk_begin, chunk_end)` across the pool, blocking until all chunks
+// finish. Runs inline when the range is small or the pool has one thread.
+// `body` must be safe to invoke concurrently on disjoint ranges.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& body,
+                 size_t min_chunk = 1024);
+
+}  // namespace hosr::util
+
+#endif  // HOSR_UTIL_THREAD_POOL_H_

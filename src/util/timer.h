@@ -1,0 +1,28 @@
+#ifndef HOSR_UTIL_TIMER_H_
+#define HOSR_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace hosr::util {
+
+// Wall-clock stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hosr::util
+
+#endif  // HOSR_UTIL_TIMER_H_

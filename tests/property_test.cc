@@ -1,0 +1,359 @@
+// Property-based tests: randomized inputs checked against independent
+// reference implementations or algebraic invariants, swept over shapes via
+// parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "autograd/param.h"
+#include "autograd/tape.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "graph/csr.h"
+#include "graph/laplacian.h"
+#include "graph/spmm.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/random.h"
+
+namespace hosr {
+namespace {
+
+using tensor::Matrix;
+
+// --- GEMM vs naive reference over a shape sweep -------------------------------
+
+struct GemmShape {
+  size_t m, k, n;
+  bool transpose_a, transpose_b;
+};
+
+class GemmPropertyTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmPropertyTest, MatchesNaiveReference) {
+  const GemmShape shape = GetParam();
+  util::Rng rng(shape.m * 131 + shape.k * 17 + shape.n);
+  Matrix a(shape.transpose_a ? shape.k : shape.m,
+           shape.transpose_a ? shape.m : shape.k);
+  Matrix b(shape.transpose_b ? shape.n : shape.k,
+           shape.transpose_b ? shape.k : shape.n);
+  tensor::GaussianInit(&a, 1.0f, &rng);
+  tensor::GaussianInit(&b, 1.0f, &rng);
+
+  Matrix fast(shape.m, shape.n);
+  tensor::Gemm(a, shape.transpose_a, b, shape.transpose_b, 1.0f, 0.0f,
+               &fast);
+
+  Matrix naive(shape.m, shape.n);
+  for (size_t i = 0; i < shape.m; ++i) {
+    for (size_t j = 0; j < shape.n; ++j) {
+      float acc = 0;
+      for (size_t kk = 0; kk < shape.k; ++kk) {
+        const float av = shape.transpose_a ? a(kk, i) : a(i, kk);
+        const float bv = shape.transpose_b ? b(j, kk) : b(kk, j);
+        acc += av * bv;
+      }
+      naive(i, j) = acc;
+    }
+  }
+  EXPECT_TRUE(tensor::AllClose(fast, naive, 1e-3 * shape.k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmPropertyTest,
+    ::testing::Values(GemmShape{1, 1, 1, false, false},
+                      GemmShape{7, 3, 5, false, false},
+                      GemmShape{7, 3, 5, true, false},
+                      GemmShape{7, 3, 5, false, true},
+                      GemmShape{7, 3, 5, true, true},
+                      GemmShape{64, 32, 48, false, false},
+                      GemmShape{1, 100, 1, false, false},
+                      GemmShape{100, 1, 100, false, true},
+                      GemmShape{33, 65, 17, true, true}));
+
+// --- SpMM vs dense reference over random sparsity ------------------------------
+
+class SpmmPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpmmPropertyTest, MatchesDensifiedMultiply) {
+  util::Rng rng(GetParam());
+  const uint32_t rows = 5 + static_cast<uint32_t>(rng.UniformInt(40));
+  const uint32_t cols = 5 + static_cast<uint32_t>(rng.UniformInt(40));
+  const size_t nnz = rng.UniformInt(rows * cols / 2 + 1);
+  std::vector<graph::Triplet> triplets;
+  for (size_t i = 0; i < nnz; ++i) {
+    triplets.push_back({static_cast<uint32_t>(rng.UniformInt(rows)),
+                        static_cast<uint32_t>(rng.UniformInt(cols)),
+                        rng.Gaussian()});
+  }
+  const graph::CsrMatrix sparse =
+      graph::CsrMatrix::FromTriplets(rows, cols, triplets);
+  const size_t d = 1 + rng.UniformInt(16);
+  Matrix dense(cols, d);
+  tensor::GaussianInit(&dense, 1.0f, &rng);
+
+  // Densify and multiply as reference.
+  Matrix densified(rows, cols);
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) densified(r, c) = sparse.At(r, c);
+  }
+  const Matrix expected = tensor::MatMul(densified, dense);
+  EXPECT_TRUE(tensor::AllClose(graph::Spmm(sparse, dense), expected, 1e-3));
+
+  // Transpose path agrees with the explicit transpose.
+  Matrix dense2(rows, d);
+  tensor::GaussianInit(&dense2, 1.0f, &rng);
+  Matrix scatter(cols, d);
+  graph::SpmmTranspose(sparse, dense2, &scatter);
+  EXPECT_TRUE(tensor::AllClose(scatter,
+                               graph::Spmm(sparse.Transpose(), dense2),
+                               1e-3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpmmPropertyTest, ::testing::Range(1, 11));
+
+// --- CSR invariants over random builds ------------------------------------------
+
+class CsrPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsrPropertyTest, SortedIndexedAndTransposeInvolutive) {
+  util::Rng rng(100 + GetParam());
+  const uint32_t rows = 1 + static_cast<uint32_t>(rng.UniformInt(30));
+  const uint32_t cols = 1 + static_cast<uint32_t>(rng.UniformInt(30));
+  std::vector<graph::Triplet> triplets;
+  const size_t count = rng.UniformInt(200);
+  for (size_t i = 0; i < count; ++i) {
+    triplets.push_back({static_cast<uint32_t>(rng.UniformInt(rows)),
+                        static_cast<uint32_t>(rng.UniformInt(cols)),
+                        1.0f});
+  }
+  const graph::CsrMatrix m =
+      graph::CsrMatrix::FromTriplets(rows, cols, triplets);
+  // Row pointers are monotone and bounded.
+  for (uint32_t r = 0; r < rows; ++r) {
+    EXPECT_LE(m.row_begin(r), m.row_end(r));
+    // Column indices strictly ascending within each row.
+    for (size_t k = m.row_begin(r) + 1; k < m.row_end(r); ++k) {
+      EXPECT_LT(m.col_idx()[k - 1], m.col_idx()[k]);
+    }
+  }
+  EXPECT_EQ(m.row_ptr().back(), m.nnz());
+  EXPECT_TRUE(m.Transpose().Transpose() == m);
+  // nnz never exceeds the input triplet count.
+  EXPECT_LE(m.nnz(), count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrPropertyTest, ::testing::Range(1, 11));
+
+// --- Laplacian spectra-free invariants ------------------------------------------
+
+class LaplacianPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LaplacianPropertyTest, SymmetricBoundedAndSelfLoops) {
+  util::Rng rng(200 + GetParam());
+  const uint32_t n = 10 + static_cast<uint32_t>(rng.UniformInt(50));
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t i = 1; i < n; ++i) {
+    edges.emplace_back(i, static_cast<uint32_t>(rng.UniformInt(i)));
+  }
+  const auto graph = graph::SocialGraph::FromEdges(n, edges);
+  ASSERT_TRUE(graph.ok());
+  const graph::CsrMatrix laplacian =
+      graph::NormalizedLaplacian(graph->adjacency());
+  EXPECT_TRUE(laplacian.Transpose() == laplacian);
+  for (uint32_t i = 0; i < n; ++i) {
+    // Self-loop present and equal to 1/deg.
+    const float self = laplacian.At(i, i);
+    const float deg = std::max(1.0f, static_cast<float>(graph->Degree(i)));
+    EXPECT_NEAR(self, 1.0f / deg, 1e-5);
+    // All entries in (0, 1].
+    for (size_t k = laplacian.row_begin(i); k < laplacian.row_end(i); ++k) {
+      EXPECT_GT(laplacian.values()[k], 0.0f);
+      EXPECT_LE(laplacian.values()[k], 1.0f + 1e-6f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LaplacianPropertyTest,
+                         ::testing::Range(1, 8));
+
+// --- TopK vs full sort reference -------------------------------------------------
+
+class TopKPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopKPropertyTest, AgreesWithStableSortReference) {
+  util::Rng rng(300 + GetParam());
+  const uint32_t n = 20 + static_cast<uint32_t>(rng.UniformInt(300));
+  std::vector<float> scores(n);
+  for (auto& s : scores) s = rng.Gaussian();
+  // Random exclusion set.
+  std::vector<uint32_t> excluded;
+  for (uint32_t j = 0; j < n; ++j) {
+    if (rng.Bernoulli(0.2)) excluded.push_back(j);
+  }
+  const uint32_t k = 1 + static_cast<uint32_t>(rng.UniformInt(25));
+
+  const auto fast = eval::TopKExcluding(scores.data(), n, k, excluded);
+
+  std::vector<uint32_t> candidates;
+  for (uint32_t j = 0; j < n; ++j) {
+    if (!std::binary_search(excluded.begin(), excluded.end(), j)) {
+      candidates.push_back(j);
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     if (scores[a] != scores[b]) return scores[a] > scores[b];
+                     return a < b;
+                   });
+  candidates.resize(std::min<size_t>(candidates.size(), k));
+  EXPECT_EQ(fast, candidates);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopKPropertyTest, ::testing::Range(1, 13));
+
+// --- Metric invariants -------------------------------------------------------
+
+class MetricPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricPropertyTest, BoundsAndOrderings) {
+  util::Rng rng(400 + GetParam());
+  const uint32_t n_items = 50;
+  std::vector<uint32_t> ranked;
+  for (uint32_t j = 0; j < 20; ++j) {
+    const auto item = static_cast<uint32_t>(rng.UniformInt(n_items));
+    if (std::find(ranked.begin(), ranked.end(), item) == ranked.end()) {
+      ranked.push_back(item);
+    }
+  }
+  std::vector<uint32_t> relevant;
+  for (uint32_t j = 0; j < n_items; ++j) {
+    if (rng.Bernoulli(0.15)) relevant.push_back(j);
+  }
+  const double recall = eval::RecallAtK(ranked, relevant);
+  const double ap = eval::AveragePrecisionAtK(ranked, relevant, 20);
+  const double ndcg = eval::NdcgAtK(ranked, relevant, 20);
+  const double precision = eval::PrecisionAtK(ranked, relevant, 20);
+  for (const double metric : {recall, ap, ndcg, precision}) {
+    EXPECT_GE(metric, 0.0);
+    EXPECT_LE(metric, 1.0 + 1e-12);
+  }
+  // AP is upper-bounded by a function of the hit count just like recall:
+  // if nothing was hit, everything is 0.
+  if (recall == 0.0) {
+    EXPECT_EQ(ap, 0.0);
+    EXPECT_EQ(ndcg, 0.0);
+    EXPECT_EQ(precision, 0.0);
+  }
+  // Moving a relevant item to rank 1 never decreases AP or NDCG.
+  if (!relevant.empty()) {
+    std::vector<uint32_t> promoted = ranked;
+    promoted.insert(promoted.begin(), relevant.front());
+    promoted.resize(std::min<size_t>(promoted.size(), 20));
+    EXPECT_GE(eval::AveragePrecisionAtK(promoted, relevant, 20) + 1e-9, ap);
+    EXPECT_GE(eval::NdcgAtK(promoted, relevant, 20) + 1e-9, ndcg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertyTest, ::testing::Range(1, 13));
+
+// --- Autograd linearity property ------------------------------------------------
+
+class AutogradLinearityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutogradLinearityTest, GradientOfLinearFunctionIsExact) {
+  // For f(x) = sum(c ⊙ x), the gradient must be exactly c regardless of
+  // the graph shape used to compute it.
+  util::Rng rng(500 + GetParam());
+  autograd::ParamStore store;
+  const size_t rows = 1 + rng.UniformInt(6);
+  const size_t cols = 1 + rng.UniformInt(6);
+  autograd::Param* x = store.CreateGaussian("x", rows, cols, 1.0f, &rng);
+  Matrix c(rows, cols);
+  tensor::GaussianInit(&c, 1.0f, &rng);
+
+  autograd::Tape tape;
+  autograd::Value loss =
+      tape.Sum(tape.Hadamard(tape.Param(x), tape.Constant(c)));
+  store.ZeroGrad();
+  tape.Backward(loss);
+  EXPECT_TRUE(tensor::AllClose(x->grad, c, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradLinearityTest,
+                         ::testing::Range(1, 9));
+
+// --- Dataset split properties over random datasets ------------------------------
+
+class SplitPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitPropertyTest, PartitionInvariantsHold) {
+  data::SyntheticConfig config;
+  config.num_users = 150;
+  config.num_items = 200;
+  config.avg_interactions_per_user = 8;
+  config.avg_relations_per_user = 5;
+  config.seed = 600 + static_cast<uint64_t>(GetParam());
+  const auto dataset = data::GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+  util::Rng rng(GetParam());
+  const auto split = data::SplitDataset(*dataset, 0.25, &rng);
+  ASSERT_TRUE(split.ok());
+
+  EXPECT_EQ(split->train.interactions.nnz() + split->test.nnz(),
+            dataset->interactions.nnz());
+  for (uint32_t u = 0; u < dataset->num_users(); ++u) {
+    // Disjoint per user, union equals original.
+    const auto& train_items = split->train.interactions.ItemsOf(u);
+    const auto& test_items = split->test.ItemsOf(u);
+    std::vector<uint32_t> merged = train_items;
+    merged.insert(merged.end(), test_items.begin(), test_items.end());
+    std::sort(merged.begin(), merged.end());
+    EXPECT_EQ(merged, dataset->interactions.ItemsOf(u));
+    EXPECT_FALSE(train_items.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitPropertyTest, ::testing::Range(1, 7));
+
+// --- Segment ops consistency with matrix ops over random segmentations ----------
+
+class SegmentPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentPropertyTest, WeightedSumMatchesManualAccumulation) {
+  util::Rng rng(700 + GetParam());
+  const size_t num_segments = 1 + rng.UniformInt(8);
+  std::vector<size_t> offsets{0};
+  for (size_t s = 0; s < num_segments; ++s) {
+    offsets.push_back(offsets.back() + rng.UniformInt(6));
+  }
+  const size_t total = offsets.back();
+  if (total == 0) return;
+  const size_t d = 1 + rng.UniformInt(5);
+
+  autograd::ParamStore store;
+  autograd::Param* alpha = store.CreateGaussian("alpha", total, 1, 1.0f, &rng);
+  autograd::Param* feats = store.CreateGaussian("feats", total, d, 1.0f, &rng);
+
+  autograd::Tape tape;
+  autograd::Value out = tape.SegmentWeightedSum(
+      tape.Param(alpha), tape.Param(feats), offsets);
+
+  Matrix expected(num_segments, d);
+  for (size_t s = 0; s < num_segments; ++s) {
+    for (size_t e = offsets[s]; e < offsets[s + 1]; ++e) {
+      for (size_t c = 0; c < d; ++c) {
+        expected(s, c) += alpha->value(e, 0) * feats->value(e, c);
+      }
+    }
+  }
+  EXPECT_TRUE(tensor::AllClose(out.value(), expected, 1e-4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentPropertyTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace hosr

@@ -1,0 +1,232 @@
+// Tests for the auxiliary recommendation toolkit: heuristic baselines
+// (MostPopular, ItemKNN), extra ranking metrics (MRR, HitRate), k-core
+// filtering, and social-graph connected components.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "models/heuristics.h"
+
+namespace hosr {
+namespace {
+
+data::InteractionMatrix MakeMatrix(uint32_t users, uint32_t items,
+                                   std::vector<data::Interaction> list) {
+  auto result =
+      data::InteractionMatrix::FromInteractions(users, items, std::move(list));
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+// --- MostPopular ----------------------------------------------------------------
+
+TEST(MostPopularTest, RanksByGlobalFrequency) {
+  // Item 2 consumed 3x, item 0 2x, item 1 1x.
+  const auto train = MakeMatrix(
+      4, 3, {{0, 2}, {1, 2}, {2, 2}, {0, 0}, {1, 0}, {3, 1}});
+  models::MostPopular model(train);
+  const auto scores = model.ScoreAllItems({0, 3});
+  EXPECT_GT(scores(0, 2), scores(0, 0));
+  EXPECT_GT(scores(0, 0), scores(0, 1));
+  // Same ranking for every user.
+  for (uint32_t j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(scores(0, j), scores(1, j));
+  }
+}
+
+TEST(MostPopularTest, PluggableIntoEvaluator) {
+  const auto dataset =
+      data::GenerateSynthetic(data::SyntheticConfig::YelpLike(0.03));
+  ASSERT_TRUE(dataset.ok());
+  util::Rng rng(1);
+  const auto split = data::SplitDataset(*dataset, 0.2, &rng);
+  ASSERT_TRUE(split.ok());
+  models::MostPopular model(split->train.interactions);
+  eval::Evaluator evaluator(&split->train.interactions, &split->test, 20);
+  const auto result =
+      evaluator.Evaluate([&](const std::vector<uint32_t>& users) {
+        return model.ScoreAllItems(users);
+      });
+  // Popularity beats random ranking (items are long-tailed).
+  EXPECT_GT(result.recall, 20.0 / dataset->num_items());
+}
+
+// --- ItemKnn --------------------------------------------------------------------
+
+TEST(ItemKnnTest, CoConsumedItemsAreSimilar) {
+  // Items 0 and 1 always co-consumed; item 2 never with them.
+  const auto train = MakeMatrix(
+      4, 3, {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {2, 1}, {3, 2}});
+  models::ItemKnn model(train, {});
+  const auto& neighbors = model.NeighborsOf(0);
+  ASSERT_FALSE(neighbors.empty());
+  EXPECT_EQ(neighbors[0].first, 1u);
+  EXPECT_GT(neighbors[0].second, 0.0f);
+  // Item 2 shares no users with item 0.
+  for (const auto& [other, sim] : neighbors) {
+    EXPECT_NE(other, 2u);
+    (void)sim;
+  }
+}
+
+TEST(ItemKnnTest, ScoresFavorNeighborsOfConsumedItems) {
+  const auto train = MakeMatrix(
+      5, 4, {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 0}});
+  models::ItemKnn model(train, {});
+  // User 4 consumed item 0; its strongest neighbor is item 1.
+  const auto scores = model.ScoreAllItems({4});
+  EXPECT_GT(scores(0, 1), scores(0, 2));
+  EXPECT_GT(scores(0, 1), scores(0, 3));
+}
+
+TEST(ItemKnnTest, MaxNeighborsCapRespected) {
+  const auto dataset =
+      data::GenerateSynthetic(data::SyntheticConfig::YelpLike(0.03));
+  ASSERT_TRUE(dataset.ok());
+  models::ItemKnn::Config config;
+  config.max_neighbors = 5;
+  models::ItemKnn model(dataset->interactions, config);
+  for (uint32_t j = 0; j < dataset->num_items(); ++j) {
+    EXPECT_LE(model.NeighborsOf(j).size(), 5u);
+  }
+}
+
+TEST(ItemKnnTest, BeatsPopularityOnPersonalizedData) {
+  const auto dataset =
+      data::GenerateSynthetic(data::SyntheticConfig::YelpLike(0.04));
+  ASSERT_TRUE(dataset.ok());
+  util::Rng rng(2);
+  const auto split = data::SplitDataset(*dataset, 0.2, &rng);
+  ASSERT_TRUE(split.ok());
+  eval::Evaluator evaluator(&split->train.interactions, &split->test, 20);
+
+  models::ItemKnn knn(split->train.interactions, {});
+  models::MostPopular popular(split->train.interactions);
+  const double knn_recall =
+      evaluator
+          .Evaluate([&](const std::vector<uint32_t>& users) {
+            return knn.ScoreAllItems(users);
+          })
+          .recall;
+  const double pop_recall =
+      evaluator
+          .Evaluate([&](const std::vector<uint32_t>& users) {
+            return popular.ScoreAllItems(users);
+          })
+          .recall;
+  EXPECT_GT(knn_recall, pop_recall);
+}
+
+// --- MRR / HitRate ----------------------------------------------------------------
+
+TEST(MrrTest, FirstHitPositionDrivesValue) {
+  EXPECT_DOUBLE_EQ(eval::ReciprocalRankAtK({5, 1, 2}, {5}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(eval::ReciprocalRankAtK({1, 5, 2}, {5}, 3), 0.5);
+  EXPECT_DOUBLE_EQ(eval::ReciprocalRankAtK({1, 2, 5}, {5}, 3), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(eval::ReciprocalRankAtK({1, 2, 3}, {5}, 3), 0.0);
+  // Truncation at K.
+  EXPECT_DOUBLE_EQ(eval::ReciprocalRankAtK({1, 2, 5}, {5}, 2), 0.0);
+  // Empty relevant set.
+  EXPECT_DOUBLE_EQ(eval::ReciprocalRankAtK({1, 2}, {}, 2), 0.0);
+}
+
+TEST(HitRateTest, BinaryIndicator) {
+  EXPECT_DOUBLE_EQ(eval::HitRateAtK({1, 2, 5}, {5}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(eval::HitRateAtK({1, 2, 3}, {5}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(eval::HitRateAtK({1, 2, 5}, {5}, 2), 0.0);
+}
+
+// --- KCoreFilter -------------------------------------------------------------------
+
+data::Dataset PreprocessDataset() {
+  data::Dataset d;
+  d.name = "pre";
+  // User 0: 3 items; user 1: 2; user 2: 1; user 3: 0 interactions.
+  // Item 3 consumed once (by user 2 only).
+  d.interactions = MakeMatrix(
+      4, 4, {{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {2, 3}});
+  auto social =
+      graph::SocialGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(social.ok());
+  d.social = std::move(social).value();
+  return d;
+}
+
+TEST(KCoreFilterTest, DropsSparseUsersAndItemsIteratively) {
+  const data::Dataset d = PreprocessDataset();
+  const auto filtered = data::KCoreFilter(d, 2, 2);
+  ASSERT_TRUE(filtered.ok());
+  // Users 2 (1 interaction) and 3 (0) drop; item 3 (1 consumer) and
+  // item 2 (only user 0 after filtering) drop too.
+  EXPECT_EQ(filtered->user_origin, (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(filtered->item_origin, (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(filtered->dataset.interactions.nnz(), 4u);
+  // Social graph rewritten over survivors: only edge (0,1) remains.
+  EXPECT_EQ(filtered->dataset.social.num_edges(), 1u);
+  EXPECT_TRUE(filtered->dataset.social.HasEdge(0, 1));
+}
+
+TEST(KCoreFilterTest, ThresholdOneKeepsInteractingEntities) {
+  const data::Dataset d = PreprocessDataset();
+  const auto filtered = data::KCoreFilter(d, 1, 1);
+  ASSERT_TRUE(filtered.ok());
+  // User 3 (no interactions) drops; everyone else stays.
+  EXPECT_EQ(filtered->user_origin, (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(filtered->dataset.interactions.nnz(), 6u);
+}
+
+TEST(KCoreFilterTest, ImpossibleThresholdErrors) {
+  const data::Dataset d = PreprocessDataset();
+  EXPECT_FALSE(data::KCoreFilter(d, 100, 1).ok());
+}
+
+TEST(KCoreFilterTest, FilteredDatasetSatisfiesThresholds) {
+  const auto dataset =
+      data::GenerateSynthetic(data::SyntheticConfig::YelpLike(0.04));
+  ASSERT_TRUE(dataset.ok());
+  const auto filtered = data::KCoreFilter(*dataset, 5, 3);
+  ASSERT_TRUE(filtered.ok());
+  const auto& fd = filtered->dataset;
+  std::vector<uint32_t> item_degree(fd.num_items(), 0);
+  for (uint32_t u = 0; u < fd.num_users(); ++u) {
+    EXPECT_GE(fd.interactions.ItemsOf(u).size(), 5u) << "user " << u;
+    for (const uint32_t j : fd.interactions.ItemsOf(u)) ++item_degree[j];
+  }
+  for (uint32_t j = 0; j < fd.num_items(); ++j) {
+    EXPECT_GE(item_degree[j], 3u) << "item " << j;
+  }
+}
+
+// --- SocialComponents ----------------------------------------------------------------
+
+TEST(SocialComponentsTest, IdentifiesComponents) {
+  // {0,1,2} connected, {3,4} connected, {5} isolated.
+  auto social = graph::SocialGraph::FromEdges(
+      6, {{0, 1}, {1, 2}, {3, 4}});
+  ASSERT_TRUE(social.ok());
+  const auto labels = data::SocialComponents(*social);
+  EXPECT_EQ(data::CountComponents(labels), 3u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[5], labels[0]);
+  EXPECT_NE(labels[5], labels[3]);
+}
+
+TEST(SocialComponentsTest, GeneratedGraphIsOneComponent) {
+  // Preferential attachment connects every new node to an existing one.
+  const auto dataset =
+      data::GenerateSynthetic(data::SyntheticConfig::YelpLike(0.03));
+  ASSERT_TRUE(dataset.ok());
+  const auto labels = data::SocialComponents(dataset->social);
+  EXPECT_EQ(data::CountComponents(labels), 1u);
+}
+
+}  // namespace
+}  // namespace hosr
