@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_attention_weights.dir/fig7_attention_weights.cc.o"
+  "CMakeFiles/fig7_attention_weights.dir/fig7_attention_weights.cc.o.d"
+  "fig7_attention_weights"
+  "fig7_attention_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_attention_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

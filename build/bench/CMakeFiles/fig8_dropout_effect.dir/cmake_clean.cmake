@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dropout_effect.dir/fig8_dropout_effect.cc.o"
+  "CMakeFiles/fig8_dropout_effect.dir/fig8_dropout_effect.cc.o.d"
+  "fig8_dropout_effect"
+  "fig8_dropout_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dropout_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosr_bench_common.dir/common/bench_util.cc.o"
+  "CMakeFiles/hosr_bench_common.dir/common/bench_util.cc.o.d"
+  "libhosr_bench_common.a"
+  "libhosr_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosr_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_complexity.dir/micro_complexity.cc.o"
+  "CMakeFiles/micro_complexity.dir/micro_complexity.cc.o.d"
+  "micro_complexity"
+  "micro_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_neighbor_growth.dir/table1_neighbor_growth.cc.o"
+  "CMakeFiles/table1_neighbor_growth.dir/table1_neighbor_growth.cc.o.d"
+  "table1_neighbor_growth"
+  "table1_neighbor_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_neighbor_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_layer_aggregation.dir/table4_layer_aggregation.cc.o"
+  "CMakeFiles/table4_layer_aggregation.dir/table4_layer_aggregation.cc.o.d"
+  "table4_layer_aggregation"
+  "table4_layer_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_layer_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

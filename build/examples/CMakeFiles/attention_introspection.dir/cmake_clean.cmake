@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_introspection.dir/attention_introspection.cpp.o"
+  "CMakeFiles/attention_introspection.dir/attention_introspection.cpp.o.d"
+  "attention_introspection"
+  "attention_introspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_introspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_business_recs.dir/local_business_recs.cpp.o"
+  "CMakeFiles/local_business_recs.dir/local_business_recs.cpp.o.d"
+  "local_business_recs"
+  "local_business_recs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_business_recs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for local_business_recs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_book_recs.dir/social_book_recs.cpp.o"
+  "CMakeFiles/social_book_recs.dir/social_book_recs.cpp.o.d"
+  "social_book_recs"
+  "social_book_recs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_book_recs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosr_autograd.dir/checkpoint.cc.o"
+  "CMakeFiles/hosr_autograd.dir/checkpoint.cc.o.d"
+  "CMakeFiles/hosr_autograd.dir/gradcheck.cc.o"
+  "CMakeFiles/hosr_autograd.dir/gradcheck.cc.o.d"
+  "CMakeFiles/hosr_autograd.dir/param.cc.o"
+  "CMakeFiles/hosr_autograd.dir/param.cc.o.d"
+  "CMakeFiles/hosr_autograd.dir/tape.cc.o"
+  "CMakeFiles/hosr_autograd.dir/tape.cc.o.d"
+  "libhosr_autograd.a"
+  "libhosr_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosr_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

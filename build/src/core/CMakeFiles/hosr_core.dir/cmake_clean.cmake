@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosr_core.dir/hosr.cc.o"
+  "CMakeFiles/hosr_core.dir/hosr.cc.o.d"
+  "CMakeFiles/hosr_core.dir/hosr_gat.cc.o"
+  "CMakeFiles/hosr_core.dir/hosr_gat.cc.o.d"
+  "CMakeFiles/hosr_core.dir/hosr_joint.cc.o"
+  "CMakeFiles/hosr_core.dir/hosr_joint.cc.o.d"
+  "CMakeFiles/hosr_core.dir/model_zoo.cc.o"
+  "CMakeFiles/hosr_core.dir/model_zoo.cc.o.d"
+  "libhosr_core.a"
+  "libhosr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

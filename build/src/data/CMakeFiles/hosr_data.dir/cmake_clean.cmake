@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosr_data.dir/dataset.cc.o"
+  "CMakeFiles/hosr_data.dir/dataset.cc.o.d"
+  "CMakeFiles/hosr_data.dir/interactions.cc.o"
+  "CMakeFiles/hosr_data.dir/interactions.cc.o.d"
+  "CMakeFiles/hosr_data.dir/io.cc.o"
+  "CMakeFiles/hosr_data.dir/io.cc.o.d"
+  "CMakeFiles/hosr_data.dir/preprocess.cc.o"
+  "CMakeFiles/hosr_data.dir/preprocess.cc.o.d"
+  "CMakeFiles/hosr_data.dir/sampler.cc.o"
+  "CMakeFiles/hosr_data.dir/sampler.cc.o.d"
+  "CMakeFiles/hosr_data.dir/synthetic.cc.o"
+  "CMakeFiles/hosr_data.dir/synthetic.cc.o.d"
+  "libhosr_data.a"
+  "libhosr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

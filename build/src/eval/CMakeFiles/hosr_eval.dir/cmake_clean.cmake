@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosr_eval.dir/evaluator.cc.o"
+  "CMakeFiles/hosr_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/hosr_eval.dir/metrics.cc.o"
+  "CMakeFiles/hosr_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/hosr_eval.dir/significance.cc.o"
+  "CMakeFiles/hosr_eval.dir/significance.cc.o.d"
+  "libhosr_eval.a"
+  "libhosr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/hosr_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/hosr_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/laplacian.cc" "src/graph/CMakeFiles/hosr_graph.dir/laplacian.cc.o" "gcc" "src/graph/CMakeFiles/hosr_graph.dir/laplacian.cc.o.d"
+  "/root/repo/src/graph/sampling.cc" "src/graph/CMakeFiles/hosr_graph.dir/sampling.cc.o" "gcc" "src/graph/CMakeFiles/hosr_graph.dir/sampling.cc.o.d"
+  "/root/repo/src/graph/social_graph.cc" "src/graph/CMakeFiles/hosr_graph.dir/social_graph.cc.o" "gcc" "src/graph/CMakeFiles/hosr_graph.dir/social_graph.cc.o.d"
+  "/root/repo/src/graph/spmm.cc" "src/graph/CMakeFiles/hosr_graph.dir/spmm.cc.o" "gcc" "src/graph/CMakeFiles/hosr_graph.dir/spmm.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/graph/CMakeFiles/hosr_graph.dir/stats.cc.o" "gcc" "src/graph/CMakeFiles/hosr_graph.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/hosr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hosr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosr_graph.dir/csr.cc.o"
+  "CMakeFiles/hosr_graph.dir/csr.cc.o.d"
+  "CMakeFiles/hosr_graph.dir/laplacian.cc.o"
+  "CMakeFiles/hosr_graph.dir/laplacian.cc.o.d"
+  "CMakeFiles/hosr_graph.dir/sampling.cc.o"
+  "CMakeFiles/hosr_graph.dir/sampling.cc.o.d"
+  "CMakeFiles/hosr_graph.dir/social_graph.cc.o"
+  "CMakeFiles/hosr_graph.dir/social_graph.cc.o.d"
+  "CMakeFiles/hosr_graph.dir/spmm.cc.o"
+  "CMakeFiles/hosr_graph.dir/spmm.cc.o.d"
+  "CMakeFiles/hosr_graph.dir/stats.cc.o"
+  "CMakeFiles/hosr_graph.dir/stats.cc.o.d"
+  "libhosr_graph.a"
+  "libhosr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

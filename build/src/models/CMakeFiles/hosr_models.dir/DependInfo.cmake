@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bpr_mf.cc" "src/models/CMakeFiles/hosr_models.dir/bpr_mf.cc.o" "gcc" "src/models/CMakeFiles/hosr_models.dir/bpr_mf.cc.o.d"
+  "/root/repo/src/models/deepinf.cc" "src/models/CMakeFiles/hosr_models.dir/deepinf.cc.o" "gcc" "src/models/CMakeFiles/hosr_models.dir/deepinf.cc.o.d"
+  "/root/repo/src/models/early_stopping.cc" "src/models/CMakeFiles/hosr_models.dir/early_stopping.cc.o" "gcc" "src/models/CMakeFiles/hosr_models.dir/early_stopping.cc.o.d"
+  "/root/repo/src/models/heuristics.cc" "src/models/CMakeFiles/hosr_models.dir/heuristics.cc.o" "gcc" "src/models/CMakeFiles/hosr_models.dir/heuristics.cc.o.d"
+  "/root/repo/src/models/if_bpr.cc" "src/models/CMakeFiles/hosr_models.dir/if_bpr.cc.o" "gcc" "src/models/CMakeFiles/hosr_models.dir/if_bpr.cc.o.d"
+  "/root/repo/src/models/model.cc" "src/models/CMakeFiles/hosr_models.dir/model.cc.o" "gcc" "src/models/CMakeFiles/hosr_models.dir/model.cc.o.d"
+  "/root/repo/src/models/ncf.cc" "src/models/CMakeFiles/hosr_models.dir/ncf.cc.o" "gcc" "src/models/CMakeFiles/hosr_models.dir/ncf.cc.o.d"
+  "/root/repo/src/models/nscr.cc" "src/models/CMakeFiles/hosr_models.dir/nscr.cc.o" "gcc" "src/models/CMakeFiles/hosr_models.dir/nscr.cc.o.d"
+  "/root/repo/src/models/trainer.cc" "src/models/CMakeFiles/hosr_models.dir/trainer.cc.o" "gcc" "src/models/CMakeFiles/hosr_models.dir/trainer.cc.o.d"
+  "/root/repo/src/models/trust_svd.cc" "src/models/CMakeFiles/hosr_models.dir/trust_svd.cc.o" "gcc" "src/models/CMakeFiles/hosr_models.dir/trust_svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/hosr_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hosr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hosr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hosr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/hosr_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hosr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hosr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

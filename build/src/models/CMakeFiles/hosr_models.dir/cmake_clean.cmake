@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosr_models.dir/bpr_mf.cc.o"
+  "CMakeFiles/hosr_models.dir/bpr_mf.cc.o.d"
+  "CMakeFiles/hosr_models.dir/deepinf.cc.o"
+  "CMakeFiles/hosr_models.dir/deepinf.cc.o.d"
+  "CMakeFiles/hosr_models.dir/early_stopping.cc.o"
+  "CMakeFiles/hosr_models.dir/early_stopping.cc.o.d"
+  "CMakeFiles/hosr_models.dir/heuristics.cc.o"
+  "CMakeFiles/hosr_models.dir/heuristics.cc.o.d"
+  "CMakeFiles/hosr_models.dir/if_bpr.cc.o"
+  "CMakeFiles/hosr_models.dir/if_bpr.cc.o.d"
+  "CMakeFiles/hosr_models.dir/model.cc.o"
+  "CMakeFiles/hosr_models.dir/model.cc.o.d"
+  "CMakeFiles/hosr_models.dir/ncf.cc.o"
+  "CMakeFiles/hosr_models.dir/ncf.cc.o.d"
+  "CMakeFiles/hosr_models.dir/nscr.cc.o"
+  "CMakeFiles/hosr_models.dir/nscr.cc.o.d"
+  "CMakeFiles/hosr_models.dir/trainer.cc.o"
+  "CMakeFiles/hosr_models.dir/trainer.cc.o.d"
+  "CMakeFiles/hosr_models.dir/trust_svd.cc.o"
+  "CMakeFiles/hosr_models.dir/trust_svd.cc.o.d"
+  "libhosr_models.a"
+  "libhosr_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosr_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosr_optim.dir/optimizer.cc.o"
+  "CMakeFiles/hosr_optim.dir/optimizer.cc.o.d"
+  "libhosr_optim.a"
+  "libhosr_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosr_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

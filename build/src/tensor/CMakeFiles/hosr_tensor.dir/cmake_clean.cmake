@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosr_tensor.dir/init.cc.o"
+  "CMakeFiles/hosr_tensor.dir/init.cc.o.d"
+  "CMakeFiles/hosr_tensor.dir/matrix.cc.o"
+  "CMakeFiles/hosr_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/hosr_tensor.dir/ops.cc.o"
+  "CMakeFiles/hosr_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/hosr_tensor.dir/serialize.cc.o"
+  "CMakeFiles/hosr_tensor.dir/serialize.cc.o.d"
+  "libhosr_tensor.a"
+  "libhosr_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosr_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

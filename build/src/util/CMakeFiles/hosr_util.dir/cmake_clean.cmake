@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosr_util.dir/flags.cc.o"
+  "CMakeFiles/hosr_util.dir/flags.cc.o.d"
+  "CMakeFiles/hosr_util.dir/logging.cc.o"
+  "CMakeFiles/hosr_util.dir/logging.cc.o.d"
+  "CMakeFiles/hosr_util.dir/random.cc.o"
+  "CMakeFiles/hosr_util.dir/random.cc.o.d"
+  "CMakeFiles/hosr_util.dir/status.cc.o"
+  "CMakeFiles/hosr_util.dir/status.cc.o.d"
+  "CMakeFiles/hosr_util.dir/string_util.cc.o"
+  "CMakeFiles/hosr_util.dir/string_util.cc.o.d"
+  "CMakeFiles/hosr_util.dir/table.cc.o"
+  "CMakeFiles/hosr_util.dir/table.cc.o.d"
+  "CMakeFiles/hosr_util.dir/thread_pool.cc.o"
+  "CMakeFiles/hosr_util.dir/thread_pool.cc.o.d"
+  "libhosr_util.a"
+  "libhosr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosr_test.dir/hosr_test.cc.o"
+  "CMakeFiles/hosr_test.dir/hosr_test.cc.o.d"
+  "hosr_test"
+  "hosr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosr_variants_test.dir/hosr_variants_test.cc.o"
+  "CMakeFiles/hosr_variants_test.dir/hosr_variants_test.cc.o.d"
+  "hosr_variants_test"
+  "hosr_variants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosr_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

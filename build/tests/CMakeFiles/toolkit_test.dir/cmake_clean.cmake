@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolkit_test.dir/toolkit_test.cc.o"
+  "CMakeFiles/toolkit_test.dir/toolkit_test.cc.o.d"
+  "toolkit_test"
+  "toolkit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosr_cli.dir/hosr_cli.cpp.o"
+  "CMakeFiles/hosr_cli.dir/hosr_cli.cpp.o.d"
+  "hosr_cli"
+  "hosr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
