@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <fstream>
 
+#include "obs/reporter.h"
 #include "util/logging.h"
 
 namespace hosr::bench {
 
 BenchOptions BenchOptions::FromFlags(int argc, char** argv) {
   const util::Flags flags = util::Flags::Parse(argc, argv);
+  // Every bench accepts --trace_out / --metrics_out / --log_level; the
+  // artifacts are dumped automatically when the bench exits.
+  obs::InitFromFlags(flags);
   BenchOptions options;
   options.scale = flags.GetDouble("scale", options.scale);
   options.epochs =

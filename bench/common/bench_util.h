@@ -22,6 +22,9 @@ namespace hosr::bench {
 //   --dim=D      embedding size for single-dim benches (default 10)
 //   --seed=S     base RNG seed (default 17)
 //   --out=DIR    optional directory for CSV dumps
+// FromFlags also wires the observability flags (--trace_out=FILE,
+// --metrics_out=FILE, --log_level=LEVEL — see docs/OBSERVABILITY.md) so any
+// bench can dump a Chrome trace and a metrics-registry JSON at exit.
 struct BenchOptions {
   double scale = 0.08;
   uint32_t epochs = 80;

@@ -5,14 +5,19 @@
 //    ("the complexity is compatible to that of TrustSVD").
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/hosr.h"
 #include "data/sampler.h"
 #include "data/synthetic.h"
 #include "graph/laplacian.h"
 #include "graph/spmm.h"
 #include "models/trust_svd.h"
+#include "obs/reporter.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
+#include "util/flags.h"
+#include "util/string_util.h"
 
 namespace {
 
@@ -184,4 +189,28 @@ BENCHMARK(BM_HosrScoreAllItems);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but routes non---benchmark_* flags (--metrics_out=,
+// --trace_out=, --log_level=) to the observability layer first — google
+// benchmark's Initialize rejects flags it does not recognize.
+int main(int argc, char** argv) {
+  std::vector<char*> benchmark_args{argv[0]};
+  std::vector<char*> hosr_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (hosr::util::StartsWith(argv[i], "--benchmark_")) {
+      benchmark_args.push_back(argv[i]);
+    } else {
+      hosr_args.push_back(argv[i]);
+    }
+  }
+  hosr::obs::InitFromFlags(hosr::util::Flags::Parse(
+      static_cast<int>(hosr_args.size()), hosr_args.data()));
+  int benchmark_argc = static_cast<int>(benchmark_args.size());
+  benchmark::Initialize(&benchmark_argc, benchmark_args.data());
+  if (benchmark::ReportUnrecognizedArguments(benchmark_argc,
+                                             benchmark_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,26 @@
 #!/bin/bash
 # Runs every bench binary, echoing a header per binary.
+#
+# Each bench also dumps its metrics registry to bench_metrics/<name>.json
+# (a perf-trajectory artifact for comparing runs across PRs); the script
+# fails loudly if any dump is missing or is not parseable JSON.
+set -u
+
+METRICS_DIR="${METRICS_DIR:-bench_metrics}"
+mkdir -p "$METRICS_DIR"
+
+status=0
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ] && [[ "$b" != *.a ]]; then
-    echo "########## $(basename "$b") ##########"
-    "$b" "$@" 2>&1
+    name=$(basename "$b")
+    metrics_file="$METRICS_DIR/$name.json"
+    echo "########## $name ##########"
+    "$b" "$@" --metrics_out="$metrics_file" 2>&1
     echo
+    if ! python3 -m json.tool "$metrics_file" > /dev/null; then
+      echo "ERROR: $metrics_file is missing or not valid JSON" >&2
+      status=1
+    fi
   fi
 done
+exit $status

@@ -5,6 +5,8 @@
 #include "graph/laplacian.h"
 #include "graph/sampling.h"
 #include "graph/spmm.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/string_util.h"
 
@@ -120,6 +122,7 @@ std::vector<Value> Hosr::PropagateLayers(autograd::Tape* tape,
   layers.reserve(config_.num_layers);
   Value h = tape->Param(user_emb_);
   for (uint32_t layer = 0; layer < config_.num_layers; ++layer) {
+    obs::ScopedSpan span(obs::IndexedSpanName("hosr/layer_", layer + 1));
     // Eq. 5: U^(k) = act(L U^(k-1) W^(k)); L is symmetric.
     h = tape->SpMM(laplacian, laplacian, h);
     if (config_.use_layer_weights) {
@@ -150,6 +153,7 @@ Value Hosr::AggregateLayers(autograd::Tape* tape, Value u0,
     }
     case LayerAggregation::kAttention: {
       if (layers.size() == 1) return layers[0];
+      HOSR_TRACE_SPAN("hosr/attention_aggregate");
       // Eq. 8: a_il = ReLU(u_i P_u + u_i^(l) P_o) h^T.
       Value projected_u0 = tape->MatMul(u0, tape->Param(attn_proj_user_));
       Value p_o = tape->Param(attn_proj_output_);
@@ -216,6 +220,7 @@ std::vector<Matrix> Hosr::PropagateLayersInference() const {
   layers.reserve(config_.num_layers);
   Matrix h = user_emb_->value;
   for (uint32_t layer = 0; layer < config_.num_layers; ++layer) {
+    obs::ScopedSpan span(obs::IndexedSpanName("hosr/layer_", layer + 1));
     h = graph::Spmm(base_laplacian_, h);
     if (config_.use_layer_weights) {
       h = tensor::MatMul(h, layer_weights_[layer]->value);
@@ -273,7 +278,18 @@ Matrix Hosr::AttentionWeightsFor(const std::vector<Matrix>& layers) const {
     const Matrix a_l = tensor::MatMul(hidden, attn_vector_->value);
     for (size_t r = 0; r < scores.rows(); ++r) scores(r, l) = a_l(r, 0);
   }
-  return tensor::RowSoftmax(scores);
+  Matrix weights = tensor::RowSoftmax(scores);
+  if (obs::Enabled()) {
+    // Distribution of post-softmax layer weights (Eq. 9): how much each
+    // user leans on each propagation depth.
+    auto& histogram = HOSR_HISTOGRAM("hosr/attn_softmax_weight");
+    for (size_t r = 0; r < weights.rows(); ++r) {
+      for (size_t c = 0; c < weights.cols(); ++c) {
+        histogram.Observe(weights(r, c));
+      }
+    }
+  }
+  return weights;
 }
 
 Matrix Hosr::AttentionWeights() const {
@@ -285,6 +301,7 @@ Matrix Hosr::FinalUserEmbeddings() const {
 }
 
 Matrix Hosr::ScoreAllItems(const std::vector<uint32_t>& users) {
+  HOSR_TRACE_SPAN("hosr/score_all_items");
   Matrix rep = FinalUserEmbeddings();
   if (config_.item_implicit_term) {
     const Matrix implicit = graph::Spmm(item_term_, item_emb_->value);

@@ -4,6 +4,8 @@
 
 #include "graph/sampling.h"
 #include "graph/spmm.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/string_util.h"
 
@@ -150,6 +152,7 @@ Value HosrGat::UserRepresentation(autograd::Tape* tape, bool training) {
   layers.reserve(config_.num_layers);
   Value h = u0;
   for (uint32_t layer = 0; layer < config_.num_layers; ++layer) {
+    obs::ScopedSpan span(obs::IndexedSpanName("hosr_gat/layer_", layer + 1));
     h = GatLayer(tape, h, layer, *edges, training);
     layers.push_back(h);
   }
@@ -246,6 +249,10 @@ std::vector<float> HosrGat::FirstLayerEdgeAttention() {
   std::vector<float> result(alpha.rows());
   for (size_t e = 0; e < result.size(); ++e) {
     result[e] = alpha.value()(e, 0);
+  }
+  if (obs::Enabled()) {
+    auto& histogram = HOSR_HISTOGRAM("hosr_gat/edge_attn_weight");
+    for (const float weight : result) histogram.Observe(weight);
   }
   return result;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace hosr::data {
 
 BprSampler::BprSampler(const InteractionMatrix* train, uint64_t seed,
@@ -13,6 +15,9 @@ BprSampler::BprSampler(const InteractionMatrix* train, uint64_t seed,
       negative_sampling_(negative_sampling) {
   HOSR_CHECK(!positives_.empty()) << "cannot sample from empty training set";
   HOSR_CHECK(train_->num_items() > 1);
+  // Pre-register so the metric shows up in dumps even for runs where no
+  // candidate is ever rejected.
+  HOSR_COUNTER("sampler/neg_rejections").Increment(0);
   if (negative_sampling_ == NegativeSampling::kPopularity) {
     std::vector<double> weights(train_->num_items(), 0.0);
     for (const Interaction& it : positives_) weights[it.item] += 1.0;
@@ -47,10 +52,13 @@ uint32_t BprSampler::SampleNegative(uint32_t user) {
             ? SamplePopularityItem()
             : static_cast<uint32_t>(rng_.UniformInt(train_->num_items()));
     if (!train_->Contains(user, candidate)) return candidate;
+    HOSR_COUNTER("sampler/neg_rejections").Increment();
   }
 }
 
 BprBatch BprSampler::SampleBatch(size_t batch_size) {
+  HOSR_COUNTER("sampler/batches").Increment();
+  HOSR_COUNTER("sampler/triples").Increment(batch_size);
   BprBatch batch;
   batch.users.reserve(batch_size);
   batch.pos_items.reserve(batch_size);

@@ -4,8 +4,11 @@
 #include <numeric>
 
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace hosr::eval {
 
@@ -26,6 +29,7 @@ EvalResult Evaluator::Evaluate(const BatchScorer& scorer) const {
 
 EvalResult Evaluator::EvaluateUsers(const BatchScorer& scorer,
                                     const std::vector<uint32_t>& users) const {
+  HOSR_TRACE_SPAN("eval/evaluate_users");
   EvalResult result;
   std::vector<uint32_t> eligible;
   for (const uint32_t u : users) {
@@ -45,14 +49,20 @@ EvalResult Evaluator::EvaluateUsers(const BatchScorer& scorer,
     const size_t end = std::min(eligible.size(), begin + kBatch);
     const std::vector<uint32_t> batch(eligible.begin() + begin,
                                       eligible.begin() + end);
-    const tensor::Matrix scores = scorer(batch);
+    const tensor::Matrix scores = [&] {
+      HOSR_TRACE_SPAN("eval/score_batch");
+      return scorer(batch);
+    }();
     HOSR_CHECK(scores.rows() == batch.size() &&
                scores.cols() == train_->num_items())
         << "scorer returned " << scores.rows() << "x" << scores.cols();
+    auto& rank_latency = HOSR_HISTOGRAM("eval/user_rank_latency_ms");
     for (size_t b = 0; b < batch.size(); ++b) {
       const uint32_t u = batch[b];
+      const util::WallTimer rank_timer;
       const auto ranked = TopKExcluding(scores.row(b), train_->num_items(),
                                         k_, train_->ItemsOf(u));
+      rank_latency.Observe(rank_timer.ElapsedMillis());
       const auto& relevant = test_->ItemsOf(u);
       const double recall = RecallAtK(ranked, relevant);
       const double ap = AveragePrecisionAtK(ranked, relevant, k_);

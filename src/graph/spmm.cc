@@ -2,17 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace hosr::graph {
 
 void Spmm(const CsrMatrix& sparse, const tensor::Matrix& dense,
           tensor::Matrix* out) {
+  HOSR_TRACE_SPAN("spmm/forward");
   HOSR_CHECK(dense.rows() == sparse.num_cols())
       << dense.rows() << " vs " << sparse.num_cols();
   HOSR_CHECK(out->rows() == sparse.num_rows() && out->cols() == dense.cols());
   HOSR_CHECK(out != &dense) << "Spmm does not support aliasing";
   const size_t d = dense.cols();
+  HOSR_COUNTER("spmm/calls").Increment();
+  HOSR_COUNTER("spmm/rows_processed").Increment(sparse.num_rows());
+  HOSR_COUNTER("spmm/flops").Increment(2 * sparse.nnz() * d);
 
   const size_t avg_row_nnz =
       std::max<size_t>(1, sparse.nnz() / std::max<uint32_t>(1, sparse.num_rows()));
@@ -43,6 +49,10 @@ tensor::Matrix Spmm(const CsrMatrix& sparse, const tensor::Matrix& dense) {
 
 void SpmmTranspose(const CsrMatrix& sparse, const tensor::Matrix& dense,
                    tensor::Matrix* out) {
+  HOSR_TRACE_SPAN("spmm/transpose");
+  HOSR_COUNTER("spmm/calls").Increment();
+  HOSR_COUNTER("spmm/rows_processed").Increment(sparse.num_rows());
+  HOSR_COUNTER("spmm/flops").Increment(2 * sparse.nnz() * dense.cols());
   HOSR_CHECK(dense.rows() == sparse.num_rows());
   HOSR_CHECK(out->rows() == sparse.num_cols() && out->cols() == dense.cols());
   HOSR_CHECK(out != &dense) << "SpmmTranspose does not support aliasing";

@@ -1,5 +1,7 @@
 #include "models/trainer.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -34,6 +36,7 @@ BprTrainer::BprTrainer(RankingModel* model,
 }
 
 EpochStats BprTrainer::RunEpoch() {
+  HOSR_TRACE_SPAN("trainer/epoch");
   util::WallTimer timer;
   model_->OnEpochBegin(epoch_, &rng_);
 
@@ -46,10 +49,19 @@ EpochStats BprTrainer::RunEpoch() {
   for (size_t b = 0; b < num_batches; ++b) {
     const data::BprBatch batch = sampler_.SampleBatch(config_.batch_size);
     autograd::Tape tape;
-    autograd::Value loss = model_->BuildLoss(&tape, batch, &rng_);
-    model_->params()->ZeroGrad();
-    tape.Backward(loss);
-    optimizer_->Step(model_->params());
+    autograd::Value loss = [&] {
+      HOSR_TRACE_SPAN("trainer/forward");
+      return model_->BuildLoss(&tape, batch, &rng_);
+    }();
+    {
+      HOSR_TRACE_SPAN("trainer/backward");
+      model_->params()->ZeroGrad();
+      tape.Backward(loss);
+    }
+    {
+      HOSR_TRACE_SPAN("trainer/step");
+      optimizer_->Step(model_->params());
+    }
     total_loss += loss.value()(0, 0);
   }
 
@@ -57,9 +69,22 @@ EpochStats BprTrainer::RunEpoch() {
   stats.epoch = epoch_;
   stats.avg_loss = total_loss / static_cast<double>(num_batches);
   stats.seconds = timer.ElapsedSeconds();
+  stats.batches = num_batches;
+  const double samples =
+      static_cast<double>(num_batches) * config_.batch_size;
+  stats.samples_per_sec = stats.seconds > 0.0 ? samples / stats.seconds : 0.0;
+
+  HOSR_GAUGE("trainer/epoch_loss").Set(stats.avg_loss);
+  HOSR_GAUGE("trainer/epoch_seconds").Set(stats.seconds);
+  HOSR_GAUGE("trainer/samples_per_sec").Set(stats.samples_per_sec);
+  HOSR_COUNTER("trainer/epochs").Increment();
+  HOSR_COUNTER("trainer/batches").Increment(num_batches);
+
   if (config_.verbose) {
     HOSR_LOG(Info) << model_->name() << " epoch " << epoch_ << " loss "
-                   << stats.avg_loss << " (" << stats.seconds << "s)";
+                   << stats.avg_loss << " (" << stats.seconds << "s, "
+                   << stats.batches << " batches, " << stats.samples_per_sec
+                   << " samples/s)";
   }
   ++epoch_;
   return stats;

@@ -33,6 +33,9 @@ struct EpochStats {
   uint32_t epoch = 0;
   double avg_loss = 0.0;
   double seconds = 0.0;
+  size_t batches = 0;
+  // Sampled BPR triples consumed per wall-clock second (0 if unmeasurable).
+  double samples_per_sec = 0.0;
 };
 
 // Generic mini-batch trainer: samples BPR triples from the training matrix,

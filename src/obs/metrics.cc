@@ -1,0 +1,214 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace hosr::obs {
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::BucketFor(double value) {
+  if (!(value > 0.0) || std::isinf(value)) {
+    return value > 0.0 ? kNumBuckets - 1 : 0;
+  }
+  const int exp = std::ilogb(value);  // floor(log2(value)) for finite v > 0
+  if (exp < kMinExp) return 0;
+  if (exp > kMaxExp) return kNumBuckets - 1;
+  return exp - kMinExp;
+}
+
+double Histogram::BucketUpperBound(int i) {
+  return std::ldexp(1.0, kMinExp + i + 1);
+}
+
+void Histogram::Observe(double value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, value);
+  // First observation seeds min/max; later ones CAS toward the extremes.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  } else {
+    AtomicMinDouble(&min_, value);
+    AtomicMaxDouble(&max_, value);
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketSnapshot() const {
+  std::vector<uint64_t> snapshot(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  // Leaked so metric pointers cached at call sites (and the atexit artifact
+  // dump) stay valid throughout static destruction.
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+namespace {
+
+void AppendJsonString(std::string_view text, std::string* out) {
+  out->push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(util::StrFormat("\\u%04x", c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Strict-JSON number: non-finite values (which %g would print as inf/nan)
+// are emitted as null.
+void AppendJsonNumber(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
+  out->append(util::StrFormat("%.17g", value));
+}
+
+}  // namespace
+
+std::string Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string json = "{\n  \"metrics\": {";
+  bool first = true;
+  const auto begin_entry = [&](std::string_view name) {
+    if (!first) json.push_back(',');
+    first = false;
+    json.append("\n    ");
+    AppendJsonString(name, &json);
+    json.append(": ");
+  };
+  for (const auto& [name, counter] : counters_) {
+    begin_entry(name);
+    json.append(util::StrFormat("{\"type\": \"counter\", \"value\": %llu}",
+                                static_cast<unsigned long long>(
+                                    counter->Get())));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    begin_entry(name);
+    json.append("{\"type\": \"gauge\", \"value\": ");
+    AppendJsonNumber(gauge->Get(), &json);
+    json.push_back('}');
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    begin_entry(name);
+    const uint64_t count = histogram->Count();
+    json.append(util::StrFormat("{\"type\": \"histogram\", \"count\": %llu",
+                                static_cast<unsigned long long>(count)));
+    json.append(", \"sum\": ");
+    AppendJsonNumber(histogram->Sum(), &json);
+    if (count > 0) {
+      json.append(", \"min\": ");
+      AppendJsonNumber(histogram->Min(), &json);
+      json.append(", \"max\": ");
+      AppendJsonNumber(histogram->Max(), &json);
+    }
+    json.append(", \"buckets\": [");
+    const std::vector<uint64_t> buckets = histogram->BucketSnapshot();
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (buckets[i] == 0) continue;
+      if (!first_bucket) json.append(", ");
+      first_bucket = false;
+      json.append("{\"le\": ");
+      AppendJsonNumber(Histogram::BucketUpperBound(i), &json);
+      json.append(util::StrFormat(", \"count\": %llu}",
+                                  static_cast<unsigned long long>(
+                                      buckets[i])));
+    }
+    json.append("]}");
+  }
+  json.append("\n  }\n}\n");
+  return json;
+}
+
+void Registry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace hosr::obs

@@ -1,0 +1,138 @@
+#ifndef HOSR_OBS_METRICS_H_
+#define HOSR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hosr::obs {
+
+// Lock-free helpers for doubles: std::atomic<double>::fetch_add is C++20 but
+// still library-dependent, so the histogram/gauge hot paths use a CAS loop.
+void AtomicAddDouble(std::atomic<double>* target, double delta);
+void AtomicMinDouble(std::atomic<double>* target, double value);
+void AtomicMaxDouble(std::atomic<double>* target, double value);
+
+// Monotonically increasing event count. The hot path is a single relaxed
+// fetch_add; construction (registry lookup) is the only locking operation.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins scalar (e.g. the most recent epoch loss).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Distribution with fixed log-scale (power-of-two) buckets covering
+// [2^kMinExp, 2^(kMaxExp+1)): bucket i holds values in
+// [2^(kMinExp+i), 2^(kMinExp+i+1)). Non-positive values and underflow land
+// in bucket 0; overflow lands in the last bucket. Observe() is wait-free on
+// the bucket count and uses a short CAS loop for sum/min/max.
+class Histogram {
+ public:
+  static constexpr int kMinExp = -30;  // ~1e-9: sub-microsecond latencies
+  static constexpr int kMaxExp = 31;   // ~2e9: flop counts, big totals
+  static constexpr int kNumBuckets = kMaxExp - kMinExp + 1;
+
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Min/Max are only meaningful when Count() > 0.
+  double Min() const { return min_.load(std::memory_order_relaxed); }
+  double Max() const { return max_.load(std::memory_order_relaxed); }
+
+  // Upper bound (exclusive) of bucket `i`: 2^(kMinExp+i+1).
+  static double BucketUpperBound(int i);
+  // Bucket index a given value falls into.
+  static int BucketFor(double value);
+
+  std::vector<uint64_t> BucketSnapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+// Process-wide named-metric registry. Lookup takes a mutex and returns a
+// pointer that stays valid for the life of the process, so callers resolve
+// once (the HOSR_COUNTER/... macros cache in a function-local static) and
+// then touch only atomics. Names follow the `subsystem/verb_unit` convention
+// (docs/OBSERVABILITY.md).
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  // One JSON object: {"metrics": {"name": {"type": ..., ...}, ...}}.
+  // Histograms export count/sum/min/max plus the non-empty buckets.
+  std::string ToJson() const;
+
+  // Zeroes every metric in place; previously returned pointers stay valid.
+  void ResetForTesting();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+#define HOSR_OBS_CONCAT_INNER_(a, b) a##b
+#define HOSR_OBS_CONCAT_(a, b) HOSR_OBS_CONCAT_INNER_(a, b)
+
+// Call-site macros: resolve the named metric once (thread-safe function-local
+// static) and return a reference, so repeated executions cost one atomic op.
+#define HOSR_COUNTER(name)                                 \
+  ([]() -> ::hosr::obs::Counter& {                         \
+    static ::hosr::obs::Counter& metric =                  \
+        *::hosr::obs::Registry::Global().GetCounter(name); \
+    return metric;                                         \
+  }())
+
+#define HOSR_GAUGE(name)                                 \
+  ([]() -> ::hosr::obs::Gauge& {                         \
+    static ::hosr::obs::Gauge& metric =                  \
+        *::hosr::obs::Registry::Global().GetGauge(name); \
+    return metric;                                       \
+  }())
+
+#define HOSR_HISTOGRAM(name)                                 \
+  ([]() -> ::hosr::obs::Histogram& {                         \
+    static ::hosr::obs::Histogram& metric =                  \
+        *::hosr::obs::Registry::Global().GetHistogram(name); \
+    return metric;                                           \
+  }())
+
+}  // namespace hosr::obs
+
+#endif  // HOSR_OBS_METRICS_H_

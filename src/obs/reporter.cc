@@ -1,0 +1,175 @@
+#include "obs/reporter.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace hosr::obs {
+
+util::Status WriteMetricsJson(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return util::Status::IoError("cannot open " + path);
+  out << Registry::Global().ToJson();
+  if (!out) return util::Status::IoError("failed writing " + path);
+  return util::Status::Ok();
+}
+
+StatsReporter::StatsReporter(Options options) : options_(std::move(options)) {
+  if (options_.interval_seconds > 0.0) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::Snapshot() {
+  if (!options_.metrics_path.empty()) {
+    if (auto status = WriteMetricsJson(options_.metrics_path); !status.ok()) {
+      HOSR_LOG(Warning) << "metrics snapshot failed: " << status;
+    }
+  }
+  if (options_.log_snapshots) {
+    HOSR_LOG(Info) << "metrics snapshot"
+                   << (options_.metrics_path.empty()
+                           ? ""
+                           : " -> " + options_.metrics_path);
+  }
+}
+
+void StatsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  Snapshot();
+}
+
+void StatsReporter::Loop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.interval_seconds);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      return;  // final snapshot happens in Stop()
+    }
+    lock.unlock();
+    Snapshot();
+    lock.lock();
+  }
+}
+
+namespace {
+
+struct ArtifactConfig {
+  std::string trace_path;
+  std::string metrics_path;
+  std::unique_ptr<StatsReporter> interval_reporter;
+};
+
+// Leaked so the atexit flush can read it during shutdown.
+ArtifactConfig& Artifacts() {
+  static ArtifactConfig* config = new ArtifactConfig;
+  return *config;
+}
+
+std::mutex& ArtifactsMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+void AtExitFlush() {
+  {
+    // Stop the background reporter before the final dump so the two never
+    // write the metrics file concurrently.
+    std::unique_ptr<StatsReporter> reporter;
+    {
+      std::lock_guard<std::mutex> lock(ArtifactsMutex());
+      reporter = std::move(Artifacts().interval_reporter);
+    }
+    if (reporter != nullptr) reporter->Stop();
+  }
+  FlushArtifacts();
+}
+
+}  // namespace
+
+void InitFromFlags(const util::Flags& flags) {
+  const std::string log_level = flags.GetString("log_level", "");
+  if (!log_level.empty()) {
+    if (log_level == "debug") {
+      util::SetLogLevel(util::LogLevel::kDebug);
+    } else if (log_level == "info") {
+      util::SetLogLevel(util::LogLevel::kInfo);
+    } else if (log_level == "warning") {
+      util::SetLogLevel(util::LogLevel::kWarning);
+    } else if (log_level == "error") {
+      util::SetLogLevel(util::LogLevel::kError);
+    } else {
+      HOSR_LOG(Warning) << "flag --log_level=" << log_level
+                        << " is not one of debug|info|warning|error; ignored";
+    }
+  }
+
+  const std::string trace_path = flags.GetString("trace_out", "");
+  const std::string metrics_path = flags.GetString("metrics_out", "");
+  const double interval = flags.GetDouble("metrics_interval", 0.0);
+  if (trace_path.empty() && metrics_path.empty()) return;
+
+  SetEnabled(true);
+  bool register_atexit = false;
+  {
+    std::lock_guard<std::mutex> lock(ArtifactsMutex());
+    ArtifactConfig& config = Artifacts();
+    register_atexit =
+        config.trace_path.empty() && config.metrics_path.empty();
+    if (!trace_path.empty()) config.trace_path = trace_path;
+    if (!metrics_path.empty()) config.metrics_path = metrics_path;
+    if (interval > 0.0 && !metrics_path.empty() &&
+        config.interval_reporter == nullptr) {
+      StatsReporter::Options options;
+      options.interval_seconds = interval;
+      options.metrics_path = metrics_path;
+      config.interval_reporter = std::make_unique<StatsReporter>(options);
+    }
+  }
+  if (register_atexit) std::atexit(AtExitFlush);
+}
+
+void FlushArtifacts() {
+  std::string trace_path, metrics_path;
+  {
+    std::lock_guard<std::mutex> lock(ArtifactsMutex());
+    trace_path = Artifacts().trace_path;
+    metrics_path = Artifacts().metrics_path;
+  }
+  if (!metrics_path.empty()) {
+    if (auto status = WriteMetricsJson(metrics_path); status.ok()) {
+      HOSR_LOG(Info) << "wrote metrics to " << metrics_path;
+    } else {
+      HOSR_LOG(Warning) << "metrics dump failed: " << status;
+    }
+  }
+  if (!trace_path.empty()) {
+    if (const uint64_t dropped = DroppedSpanCount(); dropped > 0) {
+      HOSR_LOG(Warning) << "trace ring buffers dropped " << dropped
+                        << " spans (oldest-first)";
+    }
+    if (auto status = WriteTraceJson(trace_path); status.ok()) {
+      HOSR_LOG(Info) << "wrote trace to " << trace_path
+                     << " (open in chrome://tracing or ui.perfetto.dev)";
+    } else {
+      HOSR_LOG(Warning) << "trace dump failed: " << status;
+    }
+  }
+}
+
+}  // namespace hosr::obs

@@ -1,0 +1,70 @@
+#ifndef HOSR_OBS_REPORTER_H_
+#define HOSR_OBS_REPORTER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/flags.h"
+#include "util/status.h"
+
+namespace hosr::obs {
+
+// Writes Registry::Global().ToJson() to `path`.
+util::Status WriteMetricsJson(const std::string& path);
+
+// Snapshots the metrics registry on a cadence. Two usage modes:
+//  * interval mode — `interval_seconds > 0` starts a background thread that
+//    calls Snapshot() every interval until Stop()/destruction;
+//  * epoch mode — `interval_seconds <= 0` starts no thread; the owner calls
+//    Snapshot() itself (e.g. once per training epoch).
+// Every snapshot rewrites `metrics_path` (when set) so the on-disk JSON is
+// always the latest state, and optionally logs a one-line summary.
+class StatsReporter {
+ public:
+  struct Options {
+    double interval_seconds = 0.0;
+    std::string metrics_path;
+    bool log_snapshots = false;
+  };
+
+  explicit StatsReporter(Options options);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  void Snapshot();
+
+  // Joins the background thread (idempotent). A final Snapshot() runs first
+  // so the artifact reflects the complete run.
+  void Stop();
+
+ private:
+  void Loop();
+
+  Options options_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+// One-call wiring for binaries:
+//   --metrics_out=FILE        dump the metrics registry JSON at process exit
+//   --trace_out=FILE          dump the Chrome trace JSON at process exit
+//   --metrics_interval=SECS   also rewrite --metrics_out every SECS seconds
+//   --log_level=debug|info|warning|error
+// Enables span/histogram capture (SetEnabled(true)) when either output path
+// is set, and registers an atexit hook that stops the interval reporter and
+// writes both artifacts.
+void InitFromFlags(const util::Flags& flags);
+
+// Writes whatever InitFromFlags configured, immediately (also runs at exit).
+void FlushArtifacts();
+
+}  // namespace hosr::obs
+
+#endif  // HOSR_OBS_REPORTER_H_

@@ -1,0 +1,169 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace hosr::obs {
+
+namespace internal_trace {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal_trace
+
+void SetEnabled(bool enabled) {
+  internal_trace::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  int64_t begin_ns;
+  int64_t end_ns;
+};
+
+// Per-thread span storage. Writes come only from the owning thread, reads
+// from whichever thread exports; a plain mutex keeps both race-free (the
+// uncontended lock is tens of nanoseconds, far below span granularity, and
+// keeps the buffers clean under -fsanitize=thread).
+class ThreadTraceBuffer {
+ public:
+  static constexpr size_t kCapacity = 1 << 14;  // 16384 spans per thread
+
+  explicit ThreadTraceBuffer(uint32_t tid) : tid_(tid) {
+    events_.reserve(kCapacity);
+  }
+
+  void Record(const char* name, int64_t begin_ns, int64_t end_ns) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() < kCapacity) {
+      events_.push_back({name, begin_ns, end_ns});
+    } else {
+      // Ring overwrite: keep the newest spans, count what was lost.
+      events_[next_overwrite_] = {name, begin_ns, end_ns};
+      next_overwrite_ = (next_overwrite_ + 1) % kCapacity;
+      ++dropped_;
+    }
+  }
+
+  void AppendSnapshot(std::vector<SpanRecord>* out) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const TraceEvent& event : events_) {
+      out->push_back({event.name, event.begin_ns, event.end_ns, tid_});
+    }
+  }
+
+  uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    next_overwrite_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  const uint32_t tid_;
+  std::vector<TraceEvent> events_;
+  size_t next_overwrite_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+struct BufferList {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadTraceBuffer>> buffers;
+};
+
+// Leaked: buffers must outlive worker threads and stay readable from the
+// atexit artifact dump.
+BufferList& Buffers() {
+  static BufferList* list = new BufferList;
+  return *list;
+}
+
+ThreadTraceBuffer& LocalBuffer() {
+  thread_local ThreadTraceBuffer* buffer = [] {
+    BufferList& list = Buffers();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    list.buffers.push_back(std::make_unique<ThreadTraceBuffer>(
+        static_cast<uint32_t>(list.buffers.size() + 1)));
+    return list.buffers.back().get();
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+const char* InternName(std::string_view name) {
+  static std::mutex* mutex = new std::mutex;
+  static std::set<std::string, std::less<>>* pool =
+      new std::set<std::string, std::less<>>;
+  std::lock_guard<std::mutex> lock(*mutex);
+  return pool->emplace(name).first->c_str();
+}
+
+const char* IndexedSpanName(const char* prefix, size_t index) {
+  if (!Enabled()) return prefix;
+  return InternName(util::StrFormat("%s%zu", prefix, index));
+}
+
+void RecordSpan(const char* name, int64_t begin_ns, int64_t end_ns) {
+  LocalBuffer().Record(name, begin_ns, end_ns);
+}
+
+std::vector<SpanRecord> SnapshotSpans() {
+  std::vector<SpanRecord> spans;
+  BufferList& list = Buffers();
+  std::lock_guard<std::mutex> lock(list.mutex);
+  for (const auto& buffer : list.buffers) buffer->AppendSnapshot(&spans);
+  return spans;
+}
+
+uint64_t DroppedSpanCount() {
+  uint64_t dropped = 0;
+  BufferList& list = Buffers();
+  std::lock_guard<std::mutex> lock(list.mutex);
+  for (const auto& buffer : list.buffers) dropped += buffer->dropped();
+  return dropped;
+}
+
+void ClearTrace() {
+  BufferList& list = Buffers();
+  std::lock_guard<std::mutex> lock(list.mutex);
+  for (const auto& buffer : list.buffers) buffer->Clear();
+}
+
+std::string TraceToJson() {
+  const std::vector<SpanRecord> spans = SnapshotSpans();
+  std::string json = "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) json.push_back(',');
+    first = false;
+    // Complete ("X") events; ts/dur are microseconds with ns precision.
+    json.append(util::StrFormat(
+        "\n  {\"name\": \"%s\", \"cat\": \"hosr\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+        span.name.c_str(), static_cast<double>(span.begin_ns) / 1e3,
+        static_cast<double>(span.end_ns - span.begin_ns) / 1e3, span.tid));
+  }
+  json.append("\n], \"displayTimeUnit\": \"ms\"}\n");
+  return json;
+}
+
+util::Status WriteTraceJson(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return util::Status::IoError("cannot open " + path);
+  out << TraceToJson();
+  if (!out) return util::Status::IoError("failed writing " + path);
+  return util::Status::Ok();
+}
+
+}  // namespace hosr::obs

@@ -1,0 +1,98 @@
+#ifndef HOSR_OBS_TRACE_H_
+#define HOSR_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace hosr::obs {
+
+namespace internal_trace {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal_trace
+
+// Global capture switch. Spans check it once at construction, so the
+// disabled cost of HOSR_TRACE_SPAN is one relaxed atomic load and a branch.
+// Counters/gauges are always live (a single relaxed fetch_add); only bulk
+// histogram fills and span capture honour this gate.
+inline bool Enabled() {
+  return internal_trace::g_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool enabled);
+
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Interns `name` into a process-lifetime string pool and returns a stable
+// pointer — span names must outlive the trace buffers. Call-site string
+// literals do not need interning; use this for computed names.
+const char* InternName(std::string_view name);
+
+// "prefix<index>" interned, e.g. IndexedSpanName("hosr/layer_", 2) ->
+// "hosr/layer_2". Returns `prefix` unchanged (no allocation, no lock) while
+// capture is disabled.
+const char* IndexedSpanName(const char* prefix, size_t index);
+
+// Records one closed span into the calling thread's ring buffer.
+void RecordSpan(const char* name, int64_t begin_ns, int64_t end_ns);
+
+// RAII span. `name` must point to storage that outlives trace export: a
+// string literal or an InternName() result.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(Enabled() ? name : nullptr),
+        begin_ns_(name_ != nullptr ? NowNanos() : 0) {}
+  ~ScopedSpan() {
+    if (name_ != nullptr) RecordSpan(name_, begin_ns_, NowNanos());
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  int64_t begin_ns_;
+};
+
+#define HOSR_TRACE_SPAN(name)                                        \
+  ::hosr::obs::ScopedSpan HOSR_OBS_CONCAT_(hosr_trace_span_at_line_, \
+                                           __LINE__)(name)
+
+// A completed span as captured (nanosecond timestamps, steady-clock epoch).
+struct SpanRecord {
+  std::string name;
+  int64_t begin_ns = 0;
+  int64_t end_ns = 0;
+  uint32_t tid = 0;
+};
+
+// Copies every buffered span out of all per-thread ring buffers. Intended
+// for tests and export; takes each buffer's lock briefly.
+std::vector<SpanRecord> SnapshotSpans();
+
+// Total spans dropped to ring-buffer wrap-around since the last clear.
+uint64_t DroppedSpanCount();
+
+// Chrome trace_event JSON ({"traceEvents": [...]} with "ph": "X" complete
+// events, microsecond timestamps) — loads directly in chrome://tracing and
+// https://ui.perfetto.dev.
+std::string TraceToJson();
+
+util::Status WriteTraceJson(const std::string& path);
+
+// Empties every thread's ring buffer (capture state is left unchanged).
+void ClearTrace();
+
+}  // namespace hosr::obs
+
+#endif  // HOSR_OBS_TRACE_H_

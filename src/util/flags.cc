@@ -43,8 +43,11 @@ int64_t Flags::GetInt(std::string_view name, int64_t default_value) const {
   if (it == values_.end()) return default_value;
   const auto parsed = ParseInt(it->second);
   if (!parsed.ok()) {
-    HOSR_LOG(Warning) << "flag --" << name << "=" << it->second
-                      << " is not an integer; using default";
+    // Name the offending flag explicitly — with several flags set, a
+    // value-only warning is easy to misattribute.
+    HOSR_LOG(Warning) << "flag --" << name << ": value \"" << it->second
+                      << "\" is not an integer; using default "
+                      << default_value;
     return default_value;
   }
   return parsed.value();
@@ -55,8 +58,9 @@ double Flags::GetDouble(std::string_view name, double default_value) const {
   if (it == values_.end()) return default_value;
   const auto parsed = ParseDouble(it->second);
   if (!parsed.ok()) {
-    HOSR_LOG(Warning) << "flag --" << name << "=" << it->second
-                      << " is not a number; using default";
+    HOSR_LOG(Warning) << "flag --" << name << ": value \"" << it->second
+                      << "\" is not a number; using default "
+                      << default_value;
     return default_value;
   }
   return parsed.value();
@@ -68,8 +72,9 @@ bool Flags::GetBool(std::string_view name, bool default_value) const {
   const std::string& v = it->second;
   if (v == "true" || v == "1" || v == "yes") return true;
   if (v == "false" || v == "0" || v == "no") return false;
-  HOSR_LOG(Warning) << "flag --" << name << "=" << v
-                    << " is not a boolean; using default";
+  HOSR_LOG(Warning) << "flag --" << name << ": value \"" << v
+                    << "\" is not a boolean; using default "
+                    << (default_value ? "true" : "false");
   return default_value;
 }
 

@@ -307,6 +307,32 @@ TEST(FlagsTest, PositionalCollected) {
   EXPECT_EQ(f.positional(), (std::vector<std::string>{"pos1", "pos2"}));
 }
 
+TEST(FlagsTest, GetIntRoundTripsNegativeValues) {
+  const Flags f = ParseArgs({"--offset=-42", "--delta", "-7"});
+  EXPECT_EQ(f.GetInt("offset", 0), -42);
+  EXPECT_EQ(f.GetInt("delta", 0), -7);  // space syntax, leading '-'
+}
+
+TEST(FlagsTest, GetDoubleRoundTripsNegativeValues) {
+  const Flags f = ParseArgs({"--lr=-0.5", "--decay", "-1.25"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("lr", 0.0), -0.5);
+  EXPECT_DOUBLE_EQ(f.GetDouble("decay", 0.0), -1.25);
+}
+
+TEST(FlagsTest, GetDoubleRoundTripsExponentForms) {
+  const Flags f = ParseArgs({"--lr=1e-3", "--scale=2.5E+2", "--wd=-4e-5"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("lr", 0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 0.0), 2.5e2);
+  EXPECT_DOUBLE_EQ(f.GetDouble("wd", 0.0), -4e-5);
+}
+
+TEST(FlagsTest, GetIntRejectsExponentAndFractionForms) {
+  // GetInt must not silently truncate a value that only parses as a double.
+  const Flags f = ParseArgs({"--epochs=1e2", "--batch=3.5"});
+  EXPECT_EQ(f.GetInt("epochs", 11), 11);
+  EXPECT_EQ(f.GetInt("batch", 13), 13);
+}
+
 // --- Table ------------------------------------------------------------------
 
 TEST(TableTest, TextRendersAligned) {

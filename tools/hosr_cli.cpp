@@ -12,6 +12,12 @@
 //             [--dim=N] [--k=N]
 //       Print the top-K item ids for one user.
 //
+// Every subcommand also accepts the observability flags (docs/OBSERVABILITY.md):
+//   --trace_out=FILE        dump a Chrome trace_event JSON at exit
+//   --metrics_out=FILE      dump the metrics registry JSON at exit
+//   --metrics_interval=SECS background metrics snapshots every SECS seconds
+//   --log_level=debug|info|warning|error
+//
 // The train/evaluate/recommend trio demonstrates that checkpoints fully
 // capture a model: evaluation is reproducible across processes.
 #include <cstdio>
@@ -25,6 +31,7 @@
 #include "eval/metrics.h"
 #include "models/early_stopping.h"
 #include "models/trainer.h"
+#include "obs/reporter.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
@@ -136,10 +143,30 @@ int RunTrain(const util::Flags& flags) {
                                                         : "");
   } else {
     models::BprTrainer trainer(session->model.get(), &train, config);
-    const auto history = trainer.Train();
-    std::printf("trained %u epochs, final loss %.4f\n", config.epochs,
-                history.back().avg_loss);
+    // Epoch-cadence reporting: rewrite --metrics_out after every epoch so a
+    // long run always has a current artifact on disk.
+    obs::StatsReporter reporter(
+        {.interval_seconds = 0.0,
+         .metrics_path = flags.GetString("metrics_out", "")});
+    models::EpochStats last;
+    for (uint32_t e = 0; e < config.epochs; ++e) {
+      last = trainer.RunEpoch();
+      reporter.Snapshot();
+    }
+    std::printf("trained %u epochs, final loss %.4f (%.1f samples/s)\n",
+                config.epochs, last.avg_loss, last.samples_per_sec);
   }
+
+  // Post-training evaluation: reports ranking quality and exercises the
+  // eval path so latency metrics land in --metrics_out.
+  const auto k = static_cast<uint32_t>(flags.GetInt("k", 20));
+  eval::Evaluator evaluator(&train, &session->split.test, k);
+  const auto result =
+      evaluator.Evaluate([&](const std::vector<uint32_t>& users) {
+        return session->model->ScoreAllItems(users);
+      });
+  std::printf("final: Recall@%u=%.4f MAP@%u=%.4f (%zu users)\n", k,
+              result.recall, k, result.map, result.num_users);
 
   if (auto status = autograd::SaveCheckpoint(*session->model->params(),
                                              checkpoint);
@@ -211,6 +238,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const util::Flags flags = util::Flags::Parse(argc - 1, argv + 1);
+  obs::InitFromFlags(flags);
   if (command == "generate") return RunGenerate(flags);
   if (command == "train") return RunTrain(flags);
   if (command == "evaluate") return RunEvaluate(flags);
