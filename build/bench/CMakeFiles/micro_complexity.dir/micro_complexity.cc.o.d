@@ -228,5 +228,17 @@ bench/CMakeFiles/micro_complexity.dir/micro_complexity.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /root/repo/src/data/sampler.h /root/repo/src/data/synthetic.h \
  /root/repo/src/graph/laplacian.h /root/repo/src/graph/spmm.h \
- /root/repo/src/models/trust_svd.h /root/repo/src/tensor/init.h \
- /root/repo/src/tensor/ops.h
+ /root/repo/src/models/trust_svd.h /root/repo/src/obs/reporter.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/util/flags.h \
+ /root/repo/src/tensor/init.h /root/repo/src/tensor/ops.h \
+ /root/repo/src/util/string_util.h

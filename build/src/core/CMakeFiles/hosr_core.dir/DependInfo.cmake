@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/models/CMakeFiles/hosr_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/hosr_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/eval/CMakeFiles/hosr_eval.dir/DependInfo.cmake"
   "/root/repo/build/src/data/CMakeFiles/hosr_data.dir/DependInfo.cmake"
   "/root/repo/build/src/optim/CMakeFiles/hosr_optim.dir/DependInfo.cmake"

@@ -243,5 +243,12 @@ src/core/CMakeFiles/hosr_core.dir/hosr.cc.o: /root/repo/src/core/hosr.cc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/graph/laplacian.h /root/repo/src/graph/sampling.h \
- /root/repo/src/graph/spmm.h /root/repo/src/tensor/ops.h \
+ /root/repo/src/graph/spmm.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /root/repo/src/tensor/ops.h \
  /root/repo/src/util/string_util.h

@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/data/CMakeFiles/hosr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/hosr_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/tensor/CMakeFiles/hosr_tensor.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/hosr_util.dir/DependInfo.cmake"
   "/root/repo/build/src/graph/CMakeFiles/hosr_graph.dir/DependInfo.cmake"

@@ -218,7 +218,12 @@ src/models/CMakeFiles/hosr_models.dir/trainer.cc.o: \
  /root/repo/src/tensor/matrix.h /usr/include/c++/12/cstddef \
  /root/repo/src/util/random.h /root/repo/src/autograd/tape.h \
  /root/repo/src/graph/csr.h /root/repo/src/data/sampler.h \
- /root/repo/src/optim/optimizer.h /root/repo/src/util/timer.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h
+ /root/repo/src/optim/optimizer.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /root/repo/src/util/timer.h

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosr_obs.dir/metrics.cc.o"
+  "CMakeFiles/hosr_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/hosr_obs.dir/reporter.cc.o"
+  "CMakeFiles/hosr_obs.dir/reporter.cc.o.d"
+  "CMakeFiles/hosr_obs.dir/trace.cc.o"
+  "CMakeFiles/hosr_obs.dir/trace.cc.o.d"
+  "libhosr_obs.a"
+  "libhosr_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosr_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhosr_obs.a"
+)

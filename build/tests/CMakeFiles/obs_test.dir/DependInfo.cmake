@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hosr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/hosr_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hosr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hosr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/hosr_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/hosr_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hosr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hosr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/hosr_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hosr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
