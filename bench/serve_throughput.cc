@@ -1,0 +1,156 @@
+// Serving-path benchmarks: single-user top-K latency (the acceptance
+// criterion's ≥50k QPS single-user top-10 path), batched top-K, the cached
+// hot path, and snapshot (de)serialization. Run via run_benches.sh or:
+//   ./build/bench/serve_throughput --benchmark_filter=TopK
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "models/bpr_mf.h"
+#include "obs/reporter.h"
+#include "serve/cache.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace hosr;
+
+const data::Dataset& BenchDataset() {
+  static const data::Dataset* dataset = [] {
+    auto result =
+        data::GenerateSynthetic(data::SyntheticConfig::YelpLike(0.05));
+    HOSR_CHECK(result.ok());
+    return new data::Dataset(std::move(result).value());
+  }();
+  return *dataset;
+}
+
+// Snapshot of an (untrained) BPR model over the bench dataset — parameter
+// values do not affect serving cost, only shapes do.
+const serve::ModelSnapshot& BenchSnapshot() {
+  static const serve::ModelSnapshot* snapshot = [] {
+    const auto& dataset = BenchDataset();
+    models::BprMf::Config config;
+    config.embedding_dim = 10;
+    models::BprMf model(dataset.num_users(), dataset.num_items(), config);
+    auto built = serve::BuildSnapshot(model);
+    HOSR_CHECK(built.ok());
+    return new serve::ModelSnapshot(std::move(built).value());
+  }();
+  return *snapshot;
+}
+
+const serve::InferenceEngine& BenchEngine() {
+  static const serve::InferenceEngine* engine = [] {
+    return new serve::InferenceEngine(BenchSnapshot(),
+                                      &BenchDataset().interactions);
+  }();
+  return *engine;
+}
+
+// The acceptance path: single-user top-10 queries, cache disabled.
+void BM_SingleUserTopK(benchmark::State& state) {
+  const auto& engine = BenchEngine();
+  const auto k = static_cast<uint32_t>(state.range(0));
+  util::Rng rng(state.thread_index() + 1);
+  for (auto _ : state) {
+    const auto user =
+        static_cast<uint32_t>(rng.UniformInt(engine.num_users()));
+    auto ranked = engine.TopKForUser(user, k);
+    benchmark::DoNotOptimize(ranked.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["qps"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SingleUserTopK)->Arg(10)->Arg(50)->ThreadRange(1, 4)
+    ->UseRealTime();
+
+void BM_TopKBatch(benchmark::State& state) {
+  const auto& engine = BenchEngine();
+  const auto batch_size = static_cast<size_t>(state.range(0));
+  util::Rng rng(7);
+  std::vector<uint32_t> users(batch_size);
+  for (auto& u : users) {
+    u = static_cast<uint32_t>(rng.UniformInt(engine.num_users()));
+  }
+  for (auto _ : state) {
+    auto ranked = engine.TopKBatch(users, 10);
+    benchmark::DoNotOptimize(ranked.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch_size));
+}
+BENCHMARK(BM_TopKBatch)->Arg(16)->Arg(256);
+
+// The cached hot path under a skewed (90% repeat) request mix.
+void BM_CachedTopK(benchmark::State& state) {
+  const auto& engine = BenchEngine();
+  serve::ResultCache cache;
+  util::Rng rng(11);
+  for (auto _ : state) {
+    const bool hot = rng.Bernoulli(0.9);
+    const auto user = static_cast<uint32_t>(
+        hot ? rng.UniformInt(16) : rng.UniformInt(engine.num_users()));
+    if (!cache.Get(user, 10)) {
+      cache.Put(user, 10, engine.TopKForUser(user, 10));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["hit_rate"] = cache.HitRate();
+}
+BENCHMARK(BM_CachedTopK);
+
+void BM_SnapshotSaveLoad(benchmark::State& state) {
+  const auto& snapshot = BenchSnapshot();
+  const std::string path = "/tmp/hosr_bench_snapshot.bin";
+  for (auto _ : state) {
+    HOSR_CHECK(serve::SaveSnapshot(snapshot, path).ok());
+    auto loaded = serve::LoadSnapshot(path);
+    HOSR_CHECK(loaded.ok());
+    benchmark::DoNotOptimize(loaded->factors.user_factors.data());
+  }
+  const double bytes_per_iter = static_cast<double>(
+      (snapshot.factors.user_factors.size() +
+       snapshot.factors.item_factors.size()) *
+      sizeof(float));
+  state.SetBytesProcessed(
+      static_cast<int64_t>(bytes_per_iter * state.iterations() * 2));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotSaveLoad);
+
+}  // namespace
+
+// Like micro_complexity: --benchmark_* flags go to the benchmark library,
+// everything else (--metrics_out, --trace_out, ...) to hosr::obs.
+int main(int argc, char** argv) {
+  std::vector<char*> benchmark_args{argv[0]};
+  std::vector<char*> hosr_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (hosr::util::StartsWith(argv[i], "--benchmark_")) {
+      benchmark_args.push_back(argv[i]);
+    } else {
+      hosr_args.push_back(argv[i]);
+    }
+  }
+  hosr::obs::InitFromFlags(hosr::util::Flags::Parse(
+      static_cast<int>(hosr_args.size()), hosr_args.data()));
+  int benchmark_argc = static_cast<int>(benchmark_args.size());
+  benchmark::Initialize(&benchmark_argc, benchmark_args.data());
+  if (benchmark::ReportUnrecognizedArguments(benchmark_argc,
+                                             benchmark_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -313,4 +313,18 @@ Matrix Hosr::ScoreAllItems(const std::vector<uint32_t>& users) {
   return scores;
 }
 
+util::StatusOr<models::FrozenFactors> Hosr::ExportFactors() const {
+  models::FrozenFactors factors;
+  // Same composition as ScoreAllItems: aggregated propagation output plus
+  // the Eq. 11 item-implicit term, on the full (dropout-free) graph.
+  Matrix rep = FinalUserEmbeddings();
+  if (config_.item_implicit_term) {
+    const Matrix implicit = graph::Spmm(item_term_, item_emb_->value);
+    tensor::Axpy(1.0f, implicit, &rep);
+  }
+  factors.user_factors = std::move(rep);
+  factors.item_factors = item_emb_->value;
+  return factors;
+}
+
 }  // namespace hosr::core

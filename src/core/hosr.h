@@ -85,6 +85,11 @@ class Hosr : public models::RankingModel {
 
   tensor::Matrix ScoreAllItems(const std::vector<uint32_t>& users) override;
 
+  // Frozen factors for serving: the user side is the fully aggregated
+  // inference embedding including the item-implicit term, so snapshot
+  // scores match ScoreAllItems bit for bit.
+  util::StatusOr<models::FrozenFactors> ExportFactors() const override;
+
   // Re-samples the graph-dropout adjacency (Sec. 2.4: once per epoch).
   void OnEpochBegin(uint32_t epoch, util::Rng* rng) override;
 

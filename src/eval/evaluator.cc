@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "eval/metrics.h"
+#include "eval/topk.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -60,8 +61,8 @@ EvalResult Evaluator::EvaluateUsers(const BatchScorer& scorer,
     for (size_t b = 0; b < batch.size(); ++b) {
       const uint32_t u = batch[b];
       const util::WallTimer rank_timer;
-      const auto ranked = TopKExcluding(scores.row(b), train_->num_items(),
-                                        k_, train_->ItemsOf(u));
+      const auto ranked =
+          TopK(scores.row(b), train_->num_items(), k_, train_->ItemsOf(u));
       rank_latency.Observe(rank_timer.ElapsedMillis());
       const auto& relevant = test_->ItemsOf(u);
       const double recall = RecallAtK(ranked, relevant);

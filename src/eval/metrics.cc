@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
+
+#include "eval/topk.h"
 
 namespace hosr::eval {
 
@@ -87,34 +88,7 @@ double HitRateAtK(const std::vector<uint32_t>& ranked,
 std::vector<uint32_t> TopKExcluding(const float* scores, uint32_t num_items,
                                     uint32_t k,
                                     const std::vector<uint32_t>& excluded) {
-  // Min-heap of (score, -index) keeping the best k seen so far.
-  using Entry = std::pair<float, uint32_t>;
-  auto worse = [](const Entry& a, const Entry& b) {
-    // a is "better" than b if higher score, or equal score & lower index.
-    if (a.first != b.first) return a.first > b.first;
-    return a.second < b.second;
-  };
-  std::vector<Entry> heap;
-  heap.reserve(k + 1);
-  auto excluded_it = excluded.begin();
-  for (uint32_t j = 0; j < num_items; ++j) {
-    while (excluded_it != excluded.end() && *excluded_it < j) ++excluded_it;
-    if (excluded_it != excluded.end() && *excluded_it == j) continue;
-    const Entry entry{scores[j], j};
-    if (heap.size() < k) {
-      heap.push_back(entry);
-      std::push_heap(heap.begin(), heap.end(), worse);
-    } else if (!heap.empty() && worse(entry, heap.front())) {
-      std::pop_heap(heap.begin(), heap.end(), worse);
-      heap.back() = entry;
-      std::push_heap(heap.begin(), heap.end(), worse);
-    }
-  }
-  std::sort_heap(heap.begin(), heap.end(), worse);
-  std::vector<uint32_t> result;
-  result.reserve(heap.size());
-  for (const Entry& e : heap) result.push_back(e.second);
-  return result;
+  return TopK(scores, num_items, k, excluded);
 }
 
 }  // namespace hosr::eval

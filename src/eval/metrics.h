@@ -39,6 +39,7 @@ double HitRateAtK(const std::vector<uint32_t>& ranked,
 
 // Indices of the K largest scores, excluding `excluded` (sorted ascending;
 // typically the user's training items). Ties broken by lower index.
+// Thin wrapper over eval::TopK (eval/topk.h), kept for existing callers.
 std::vector<uint32_t> TopKExcluding(const float* scores, uint32_t num_items,
                                     uint32_t k,
                                     const std::vector<uint32_t>& excluded);

@@ -1,0 +1,33 @@
+#include "eval/topk.h"
+
+#include "util/logging.h"
+
+namespace hosr::eval {
+
+TopKAccumulator::TopKAccumulator(uint32_t k) : k_(k) {
+  HOSR_CHECK(k > 0);
+  heap_.reserve(k + 1);
+}
+
+std::vector<uint32_t> TopKAccumulator::Take() {
+  std::sort_heap(heap_.begin(), heap_.end(), Better);
+  std::vector<uint32_t> result;
+  result.reserve(heap_.size());
+  for (const Entry& e : heap_) result.push_back(e.second);
+  heap_.clear();
+  return result;
+}
+
+std::vector<uint32_t> TopK(const float* scores, uint32_t num_items, uint32_t k,
+                           const std::vector<uint32_t>& excluded) {
+  TopKAccumulator acc(k);
+  auto excluded_it = excluded.begin();
+  for (uint32_t j = 0; j < num_items; ++j) {
+    while (excluded_it != excluded.end() && *excluded_it < j) ++excluded_it;
+    if (excluded_it != excluded.end() && *excluded_it == j) continue;
+    acc.Consider(scores[j], j);
+  }
+  return acc.Take();
+}
+
+}  // namespace hosr::eval

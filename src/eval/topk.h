@@ -1,0 +1,58 @@
+#ifndef HOSR_EVAL_TOPK_H_
+#define HOSR_EVAL_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hosr::eval {
+
+// Incremental best-K selector over (score, index) candidates, shared by the
+// offline evaluator and the serving engine so both rank identically: higher
+// score wins, ties broken by lower index. Candidates may be fed in any order
+// and in multiple passes (e.g. per item block); memory is O(K).
+class TopKAccumulator {
+ public:
+  explicit TopKAccumulator(uint32_t k);
+
+  // Offers one candidate; O(log K) when it displaces the current worst.
+  void Consider(float score, uint32_t index) {
+    const Entry entry{score, index};
+    if (heap_.size() < k_) {
+      heap_.push_back(entry);
+      std::push_heap(heap_.begin(), heap_.end(), Better);
+    } else if (!heap_.empty() && Better(entry, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), Better);
+      heap_.back() = entry;
+      std::push_heap(heap_.begin(), heap_.end(), Better);
+    }
+  }
+
+  // Extracts the selected indices, best first, leaving the accumulator
+  // empty and ready for reuse with the same K.
+  std::vector<uint32_t> Take();
+
+  uint32_t k() const { return k_; }
+
+ private:
+  using Entry = std::pair<float, uint32_t>;  // (score, item index)
+
+  // True when `a` ranks strictly ahead of `b`.
+  static bool Better(const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  }
+
+  uint32_t k_;
+  std::vector<Entry> heap_;  // min-heap of the best K seen so far
+};
+
+// Indices of the K largest scores, excluding `excluded` (sorted ascending;
+// typically the user's already-consumed items). Ties broken by lower index.
+std::vector<uint32_t> TopK(const float* scores, uint32_t num_items, uint32_t k,
+                           const std::vector<uint32_t>& excluded);
+
+}  // namespace hosr::eval
+
+#endif  // HOSR_EVAL_TOPK_H_

@@ -32,4 +32,11 @@ tensor::Matrix BprMf::ScoreAllItems(const std::vector<uint32_t>& users) {
   return scores;
 }
 
+util::StatusOr<FrozenFactors> BprMf::ExportFactors() const {
+  FrozenFactors factors;
+  factors.user_factors = user_emb_->value;
+  factors.item_factors = item_emb_->value;
+  return factors;
+}
+
 }  // namespace hosr::models

@@ -31,6 +31,8 @@ class BprMf : public RankingModel {
 
   tensor::Matrix ScoreAllItems(const std::vector<uint32_t>& users) override;
 
+  util::StatusOr<FrozenFactors> ExportFactors() const override;
+
   autograd::ParamStore* params() override { return &params_; }
 
   const tensor::Matrix& user_embeddings() const { return user_emb_->value; }

@@ -108,4 +108,11 @@ tensor::Matrix DeepInf::ScoreAllItems(const std::vector<uint32_t>& users) {
   return scores;
 }
 
+util::StatusOr<FrozenFactors> DeepInf::ExportFactors() const {
+  FrozenFactors factors;
+  factors.user_factors = PropagateUsersInference();
+  factors.item_factors = item_emb_->value;
+  return factors;
+}
+
 }  // namespace hosr::models

@@ -45,6 +45,8 @@ class DeepInf : public RankingModel {
 
   tensor::Matrix ScoreAllItems(const std::vector<uint32_t>& users) override;
 
+  util::StatusOr<FrozenFactors> ExportFactors() const override;
+
   autograd::ParamStore* params() override { return &params_; }
 
   // Exposed for tests: number of sampled neighbors of `user`.

@@ -174,4 +174,11 @@ tensor::Matrix IfBpr::ScoreAllItems(const std::vector<uint32_t>& users) {
   return scores;
 }
 
+util::StatusOr<FrozenFactors> IfBpr::ExportFactors() const {
+  FrozenFactors factors;
+  factors.user_factors = user_emb_->value;
+  factors.item_factors = item_emb_->value;
+  return factors;
+}
+
 }  // namespace hosr::models

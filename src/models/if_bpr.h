@@ -49,6 +49,8 @@ class IfBpr : public RankingModel {
 
   tensor::Matrix ScoreAllItems(const std::vector<uint32_t>& users) override;
 
+  util::StatusOr<FrozenFactors> ExportFactors() const override;
+
   autograd::ParamStore* params() override { return &params_; }
 
   // Exposed for tests: the discovered implicit friends of `user`.

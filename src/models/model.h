@@ -10,8 +10,24 @@
 #include "data/sampler.h"
 #include "tensor/matrix.h"
 #include "util/random.h"
+#include "util/statusor.h"
 
 namespace hosr::models {
+
+// A model's scoring function frozen into bilinear factors for serving:
+//   score(u, i) = dot(user_factors.row(u), item_factors.row(i))
+//                 + user_bias[u] + item_bias[i] + global_bias.
+// Bias vectors may be empty, meaning all-zero. Every dot-product model
+// (HOSR, BPR, TrustSVD, IF-BPR+, DeepInf) bakes its social diffusion /
+// implicit-feedback terms into `user_factors`, so a frozen export scores
+// exactly like ScoreAllItems at a fraction of the cost.
+struct FrozenFactors {
+  tensor::Matrix user_factors;  // (n x d)
+  tensor::Matrix item_factors;  // (m x d)
+  std::vector<float> user_bias;  // (n) or empty
+  std::vector<float> item_bias;  // (m) or empty
+  float global_bias = 0.0f;
+};
 
 // Interface shared by HOSR and every baseline: a model that ranks items for
 // users, trains on BPR triples via the autograd tape, and supports fast
@@ -43,6 +59,15 @@ class RankingModel {
 
   // Inference-mode scores of every item for each user: (|users| x m).
   virtual tensor::Matrix ScoreAllItems(const std::vector<uint32_t>& users) = 0;
+
+  // Exports the current parameters as frozen bilinear factors for snapshot
+  // serving (serve::BuildSnapshot). Dot-product models override this;
+  // models whose scorer is not bilinear (NCF, NSCR) keep the default
+  // Unimplemented and cannot be served from a snapshot.
+  virtual util::StatusOr<FrozenFactors> ExportFactors() const {
+    return util::Status::Unimplemented(name() +
+                                       " cannot export bilinear factors");
+  }
 
   // Called by the trainer at each epoch start (e.g. HOSR re-samples its
   // graph-dropout adjacency here).

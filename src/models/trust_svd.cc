@@ -118,4 +118,11 @@ tensor::Matrix TrustSvd::ScoreAllItems(const std::vector<uint32_t>& users) {
   return scores;
 }
 
+util::StatusOr<FrozenFactors> TrustSvd::ExportFactors() const {
+  FrozenFactors factors;
+  factors.user_factors = EffectiveUserEmbeddingInference();
+  factors.item_factors = item_emb_->value;
+  return factors;
+}
+
 }  // namespace hosr::models

@@ -44,6 +44,8 @@ class TrustSvd : public RankingModel {
 
   tensor::Matrix ScoreAllItems(const std::vector<uint32_t>& users) override;
 
+  util::StatusOr<FrozenFactors> ExportFactors() const override;
+
   autograd::ParamStore* params() override { return &params_; }
 
  private:

@@ -1,0 +1,140 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace hosr::serve {
+
+RequestBatcher::RequestBatcher(const InferenceEngine* engine)
+    : RequestBatcher(engine, Options{}) {}
+
+RequestBatcher::RequestBatcher(const InferenceEngine* engine, Options options)
+    : engine_(engine), options_(options) {
+  HOSR_CHECK(engine != nullptr);
+  HOSR_CHECK(options_.max_batch_size > 0);
+  HOSR_CHECK(options_.queue_capacity > 0);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+RequestBatcher::~RequestBatcher() { Stop(); }
+
+std::future<util::StatusOr<RankedItems>> RequestBatcher::Submit(uint32_t user,
+                                                                uint32_t k) {
+  std::promise<util::StatusOr<RankedItems>> promise;
+  auto future = promise.get_future();
+  if (k == 0) {
+    promise.set_value(util::Status::InvalidArgument("k must be >= 1"));
+    return future;
+  }
+  if (user >= engine_->num_users()) {
+    promise.set_value(util::Status::OutOfRange(
+        "user " + std::to_string(user) + " >= " +
+        std::to_string(engine_->num_users())));
+    return future;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_available_.wait(lock, [this] {
+      return stopping_ || queue_.size() < options_.queue_capacity;
+    });
+    if (stopping_) {
+      promise.set_value(
+          util::Status::FailedPrecondition("batcher is stopped"));
+      return future;
+    }
+    queue_.push_back(Request{user, k, std::move(promise)});
+  }
+  work_available_.notify_one();
+  HOSR_COUNTER("serve/batcher_requests_total").Increment();
+  return future;
+}
+
+void RequestBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  space_available_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // The dispatcher drains the queue before exiting, but fail anything that
+  // raced in.
+  std::deque<Request> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftover.swap(queue_);
+  }
+  for (Request& r : leftover) {
+    r.promise.set_value(
+        util::Status::FailedPrecondition("batcher stopped before dispatch"));
+  }
+}
+
+void RequestBatcher::DispatchLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with nothing left to serve
+      // Linger briefly for co-arriving requests so batches fill up, but
+      // never hold a full batch back.
+      if (options_.max_linger_us > 0 &&
+          queue_.size() < options_.max_batch_size && !stopping_) {
+        work_available_.wait_for(
+            lock, std::chrono::microseconds(options_.max_linger_us), [this] {
+              return stopping_ || queue_.size() >= options_.max_batch_size;
+            });
+      }
+      const size_t take = std::min(queue_.size(), options_.max_batch_size);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    space_available_.notify_all();
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void RequestBatcher::ExecuteBatch(std::vector<Request> batch) {
+  HOSR_TRACE_SPAN("serve/dispatch_batch");
+  HOSR_HISTOGRAM("serve/dispatch_batch_size")
+      .Observe(static_cast<double>(batch.size()));
+
+  // Cache pass: fulfill hits immediately, group misses by K so each group
+  // becomes one engine batch.
+  std::map<uint32_t, std::vector<size_t>> misses_by_k;  // k -> batch indices
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (options_.cache != nullptr) {
+      if (auto hit = options_.cache->Get(batch[i].user, batch[i].k)) {
+        batch[i].promise.set_value(std::move(*hit));
+        continue;
+      }
+    }
+    misses_by_k[batch[i].k].push_back(i);
+  }
+
+  for (auto& [k, indices] : misses_by_k) {
+    std::vector<uint32_t> users;
+    users.reserve(indices.size());
+    for (const size_t i : indices) users.push_back(batch[i].user);
+    auto results = engine_->TopKBatch(users, k);
+    for (size_t j = 0; j < indices.size(); ++j) {
+      Request& r = batch[indices[j]];
+      if (options_.cache != nullptr) {
+        options_.cache->Put(r.user, k, results[j]);
+      }
+      r.promise.set_value(std::move(results[j]));
+    }
+  }
+}
+
+}  // namespace hosr::serve

@@ -1,0 +1,82 @@
+#ifndef HOSR_SERVE_BATCHER_H_
+#define HOSR_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/engine.h"
+#include "util/statusor.h"
+
+namespace hosr::serve {
+
+using RankedItems = std::vector<uint32_t>;
+
+// Bounded-queue request batcher: concurrent callers Submit() single-user
+// top-K queries; a dispatcher thread coalesces them into batches that are
+// embedding-matrix friendly (one TopKBatch per distinct K in the batch) and
+// fulfills each request's future. An optional ResultCache short-circuits
+// repeat queries and absorbs fresh results.
+//
+// Backpressure: Submit() blocks while the queue holds `queue_capacity`
+// pending requests, bounding memory under overload instead of growing
+// without limit. After Stop() (or destruction), further Submits fail with
+// FailedPrecondition and queued requests are drained with Unavailable-style
+// errors rather than broken promises.
+class RequestBatcher {
+ public:
+  struct Options {
+    size_t max_batch_size = 64;
+    size_t queue_capacity = 4096;
+    // How long the dispatcher lingers for more arrivals once it holds at
+    // least one request but fewer than max_batch_size. 0 disables
+    // coalescing waits (each wakeup drains whatever is queued).
+    int64_t max_linger_us = 100;
+    ResultCache* cache = nullptr;  // not owned; may be null
+  };
+
+  // `engine` must outlive the batcher.
+  explicit RequestBatcher(const InferenceEngine* engine);  // default Options
+  RequestBatcher(const InferenceEngine* engine, Options options);
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  // Enqueues one query. The future resolves to the ranked list, or to an
+  // error Status for out-of-range users / k == 0 / shutdown.
+  std::future<util::StatusOr<RankedItems>> Submit(uint32_t user, uint32_t k);
+
+  // Stops accepting work, fails queued requests, joins the dispatcher.
+  // Idempotent; also runs on destruction.
+  void Stop();
+
+ private:
+  struct Request {
+    uint32_t user;
+    uint32_t k;
+    std::promise<util::StatusOr<RankedItems>> promise;
+  };
+
+  void DispatchLoop();
+  void ExecuteBatch(std::vector<Request> batch);
+
+  const InferenceEngine* engine_;
+  Options options_;
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable space_available_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace hosr::serve
+
+#endif  // HOSR_SERVE_BATCHER_H_

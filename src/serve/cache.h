@@ -1,0 +1,83 @@
+#ifndef HOSR_SERVE_CACHE_H_
+#define HOSR_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hosr::serve {
+
+// Sharded LRU cache of ranked result lists keyed by (user, K). Each shard
+// owns an independent mutex + intrusive LRU list, so concurrent request
+// threads rarely contend. Hit/miss/eviction totals feed both local Stats
+// and the serve/cache_* obs counters.
+class ResultCache {
+ public:
+  struct Options {
+    size_t capacity = 1 << 16;  // entries across all shards
+    size_t num_shards = 16;
+  };
+
+  ResultCache();  // default Options
+  explicit ResultCache(Options options);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // The cached list for (user, k), refreshing its recency; nullopt on miss.
+  std::optional<std::vector<uint32_t>> Get(uint32_t user, uint32_t k);
+
+  // Inserts or refreshes (user, k), evicting the shard's least recently
+  // used entry when over budget.
+  void Put(uint32_t user, uint32_t k, std::vector<uint32_t> items);
+
+  // Drops every entry (e.g. after a snapshot swap). Stats are kept.
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+  Stats GetStats() const;
+
+  // hits / (hits + misses), 0 before any lookup.
+  double HitRate() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    // Front = most recently used.
+    std::list<std::pair<uint64_t, std::vector<uint32_t>>> lru;
+    std::unordered_map<uint64_t, decltype(lru)::iterator> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  static uint64_t Key(uint32_t user, uint32_t k) {
+    return (static_cast<uint64_t>(user) << 32) | k;
+  }
+  Shard& ShardFor(uint64_t key) {
+    // Fibonacci hash spreads sequential user ids across the 2^shard_bits_
+    // shards; the top bits of the product pick the shard.
+    if (shard_bits_ == 0) return shards_[0];
+    return shards_[(key * 0x9E3779B97F4A7C15ull) >> (64 - shard_bits_)];
+  }
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  unsigned shard_bits_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace hosr::serve
+
+#endif  // HOSR_SERVE_CACHE_H_

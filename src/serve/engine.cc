@@ -1,0 +1,112 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+
+#include "eval/topk.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace hosr::serve {
+
+namespace {
+const std::vector<uint32_t> kNoExclusions;
+}  // namespace
+
+InferenceEngine::InferenceEngine(ModelSnapshot snapshot,
+                                 const data::InteractionMatrix* seen,
+                                 EngineOptions options)
+    : snapshot_(std::move(snapshot)), options_(options) {
+  HOSR_CHECK(!snapshot_.factors.user_factors.empty() &&
+             !snapshot_.factors.item_factors.empty())
+      << "engine needs a non-empty snapshot";
+  HOSR_CHECK(snapshot_.factors.user_factors.cols() ==
+             snapshot_.factors.item_factors.cols());
+  HOSR_CHECK(options_.item_block > 0);
+  if (seen != nullptr) {
+    HOSR_CHECK(seen->num_users() == num_users() &&
+               seen->num_items() == num_items())
+        << "seen-item matrix " << seen->num_users() << "x"
+        << seen->num_items() << " vs snapshot " << num_users() << "x"
+        << num_items();
+    seen_.resize(seen->num_users());
+    for (uint32_t u = 0; u < seen->num_users(); ++u) {
+      seen_[u] = seen->ItemsOf(u);  // already sorted ascending
+    }
+  }
+}
+
+std::vector<uint32_t> InferenceEngine::TopKForUser(uint32_t user,
+                                                   uint32_t k) const {
+  HOSR_CHECK(user < num_users()) << user << " >= " << num_users();
+  HOSR_CHECK(k > 0);
+  const util::WallTimer timer;
+
+  const auto& f = snapshot_.factors;
+  const float* u = f.user_factors.row(user);
+  const size_t d = f.item_factors.cols();
+  const uint32_t m = num_items();
+  const std::vector<uint32_t>& excluded =
+      seen_.empty() ? kNoExclusions : seen_[user];
+
+  // Blocked GEMV: score item_block rows at a time into a thread-local
+  // scratch, then merge the block into the top-K heap. The dot product
+  // accumulates in item-factor-column order, exactly like tensor::Gemm's
+  // transpose-B path, so scores are bit-identical to ScoreAllItems.
+  static thread_local std::vector<float> scratch;
+  scratch.resize(options_.item_block);
+  eval::TopKAccumulator acc(k);
+  auto excluded_it = excluded.begin();
+  for (uint32_t j0 = 0; j0 < m; j0 += options_.item_block) {
+    const uint32_t j1 = std::min(m, j0 + options_.item_block);
+    for (uint32_t j = j0; j < j1; ++j) {
+      const float* v = f.item_factors.row(j);
+      float score = 0.0f;
+      for (size_t dd = 0; dd < d; ++dd) score += u[dd] * v[dd];
+      if (!f.item_bias.empty()) score += f.item_bias[j];
+      scratch[j - j0] = score;
+    }
+    // The user-side and global biases shift every item equally and cannot
+    // change the ranking, so the kernel skips them.
+    for (uint32_t j = j0; j < j1; ++j) {
+      while (excluded_it != excluded.end() && *excluded_it < j) ++excluded_it;
+      if (excluded_it != excluded.end() && *excluded_it == j) continue;
+      acc.Consider(scratch[j - j0], j);
+    }
+  }
+  auto result = acc.Take();
+
+  HOSR_COUNTER("serve/queries_total").Increment();
+  HOSR_HISTOGRAM("serve/query_latency_us")
+      .Observe(timer.ElapsedMillis() * 1000.0);
+  return result;
+}
+
+std::vector<std::vector<uint32_t>> InferenceEngine::TopKBatch(
+    const std::vector<uint32_t>& users, uint32_t k) const {
+  HOSR_TRACE_SPAN("serve/topk_batch");
+  std::vector<std::vector<uint32_t>> results(users.size());
+  util::ParallelFor(
+      0, users.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          results[i] = TopKForUser(users[i], k);
+        }
+      },
+      options_.min_users_per_chunk);
+  HOSR_HISTOGRAM("serve/batch_size").Observe(static_cast<double>(users.size()));
+  return results;
+}
+
+std::vector<float> InferenceEngine::ScoreAll(uint32_t user) const {
+  HOSR_CHECK(user < num_users());
+  std::vector<float> scores(num_items());
+  for (uint32_t j = 0; j < num_items(); ++j) {
+    scores[j] = snapshot_.Score(user, j);
+  }
+  return scores;
+}
+
+}  // namespace hosr::serve

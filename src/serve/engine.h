@@ -1,0 +1,65 @@
+#ifndef HOSR_SERVE_ENGINE_H_
+#define HOSR_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/interactions.h"
+#include "serve/snapshot.h"
+
+namespace hosr::serve {
+
+struct EngineOptions {
+  // Items are scored in blocks of this many rows so the per-query score
+  // scratch stays cache-resident even for catalogs in the millions.
+  uint32_t item_block = 2048;
+  // Minimum users per thread-pool chunk in TopKBatch: small enough to
+  // spread a modest batch over every core, large enough to amortize the
+  // pool's dispatch cost.
+  size_t min_users_per_chunk = 4;
+};
+
+// Answers top-K queries over a frozen ModelSnapshot: a blocked GEMV over
+// the item-factor matrix feeds an eval::TopKAccumulator (the evaluator's
+// selection, so offline and served rankings agree exactly), with the
+// user's already-consumed training items filtered out. Stateless per query
+// and safe to call from any number of threads concurrently; TopKBatch
+// additionally shards a batch across util::ThreadPool::Global().
+class InferenceEngine {
+ public:
+  // `seen` (optional) supplies per-user items to exclude from results —
+  // typically the training interactions. Its user/item spaces must match
+  // the snapshot. The item lists are copied; `seen` may die afterwards.
+  InferenceEngine(ModelSnapshot snapshot, const data::InteractionMatrix* seen,
+                  EngineOptions options = {});
+  explicit InferenceEngine(ModelSnapshot snapshot)
+      : InferenceEngine(std::move(snapshot), nullptr) {}
+
+  uint32_t num_users() const { return snapshot_.num_users(); }
+  uint32_t num_items() const { return snapshot_.num_items(); }
+  uint32_t dim() const { return snapshot_.dim(); }
+  const ModelSnapshot& snapshot() const { return snapshot_; }
+
+  // Top-K items for one user, best first, seen items excluded. Runs on the
+  // calling thread. `user` must be < num_users(), k >= 1; K larger than
+  // the candidate count returns every candidate ranked.
+  std::vector<uint32_t> TopKForUser(uint32_t user, uint32_t k) const;
+
+  // One ranked list per user, sharded across the global thread pool.
+  std::vector<std::vector<uint32_t>> TopKBatch(
+      const std::vector<uint32_t>& users, uint32_t k) const;
+
+  // Full unfiltered score vector for one user — the reference the blocked
+  // kernel is tested against, and a debugging aid.
+  std::vector<float> ScoreAll(uint32_t user) const;
+
+ private:
+  ModelSnapshot snapshot_;
+  EngineOptions options_;
+  // Per-user sorted exclusion lists; empty when no `seen` was given.
+  std::vector<std::vector<uint32_t>> seen_;
+};
+
+}  // namespace hosr::serve
+
+#endif  // HOSR_SERVE_ENGINE_H_

@@ -5,7 +5,10 @@
 //       Write a synthetic social-recommendation dataset as TSV files.
 //   train     --data=DIR --checkpoint=FILE [--model=HOSR] [--dim=N]
 //             [--epochs=N] [--lr=F] [--layers=N] [--early-stop]
+//             [--snapshot_out=FILE]
 //       Train a model on an on-disk dataset and save its parameters.
+//       --snapshot_out additionally freezes the trained model into a
+//       serving snapshot for hosr_serve (docs/SERVING.md).
 //   evaluate  --data=DIR --checkpoint=FILE [--model=HOSR] [--dim=N] [--k=N]
 //       Reload a checkpoint and report Recall/MAP/NDCG/Precision@K.
 //   recommend --data=DIR --checkpoint=FILE --user=N [--model=HOSR]
@@ -32,6 +35,7 @@
 #include "models/early_stopping.h"
 #include "models/trainer.h"
 #include "obs/reporter.h"
+#include "serve/snapshot.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
@@ -174,6 +178,20 @@ int RunTrain(const util::Flags& flags) {
     return Fail(status);
   }
   std::printf("checkpoint written to %s\n", checkpoint.c_str());
+
+  const std::string snapshot_out = flags.GetString("snapshot_out", "");
+  if (!snapshot_out.empty()) {
+    auto snapshot = serve::BuildSnapshot(*session->model);
+    if (!snapshot.ok()) return Fail(snapshot.status());
+    if (auto status = serve::SaveSnapshot(*snapshot, snapshot_out);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("serving snapshot written to %s (%s, %u users x %u items, "
+                "dim %u)\n", snapshot_out.c_str(),
+                snapshot->model_name.c_str(), snapshot->num_users(),
+                snapshot->num_items(), snapshot->dim());
+  }
   return 0;
 }
 

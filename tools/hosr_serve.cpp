@@ -1,0 +1,288 @@
+// hosr_serve — serving-side load driver over a frozen ModelSnapshot.
+//
+// Loads a snapshot exported by `hosr_cli train --snapshot_out=FILE`, builds
+// an InferenceEngine (with seen-item filtering when --data is given), then
+// replays a scripted or synthetic top-K request stream and reports achieved
+// QPS, exact p50/p95/p99 latency, and cache hit rate — on stdout as JSON, to
+// --summary_out, and through the hosr::obs registry.
+//
+//   hosr_serve --snapshot=FILE [--data=DIR]
+//              [--requests=FILE]           scripted stream: "user [k]" lines
+//              [--num_requests=10000]      synthetic stream length
+//              [--k=10]                    synthetic stream K
+//              [--zipf=0.9]                user skew (0 = uniform)
+//              [--qps=0]                   target replay rate (0 = max speed)
+//              [--clients=0]               client threads (0 = hardware)
+//              [--cache_capacity=65536]    0 disables the result cache
+//              [--cache_shards=16]
+//              [--batch=0]                 >0 routes through RequestBatcher
+//              [--linger_us=100]           batcher coalescing window
+//              [--seed=1] [--summary_out=FILE]
+// plus the standard observability flags (--metrics_out, --trace_out, ...).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/io.h"
+#include "obs/metrics.h"
+#include "obs/reporter.h"
+#include "obs/trace.h"
+#include "serve/batcher.h"
+#include "serve/cache.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace hosr;
+
+struct Request {
+  uint32_t user;
+  uint32_t k;
+};
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Approximate bounded-Zipf sampler via inverse-CDF of the continuous
+// analog: heavy head, long tail, exponent `s` in [0, 1). s == 0 is uniform.
+uint32_t SampleUser(util::Rng* rng, uint32_t num_users, double s) {
+  if (s <= 0.0) return static_cast<uint32_t>(rng->UniformInt(num_users));
+  const double n = static_cast<double>(num_users);
+  const double u = rng->UniformDouble();
+  const double x = std::pow((std::pow(n, 1.0 - s) - 1.0) * u + 1.0,
+                            1.0 / (1.0 - s));
+  const auto idx = static_cast<uint32_t>(x - 1.0);
+  return std::min(idx, num_users - 1);
+}
+
+util::StatusOr<std::vector<Request>> LoadRequests(const std::string& path,
+                                                  uint32_t num_users,
+                                                  uint32_t default_k) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open requests: " + path);
+  std::vector<Request> requests;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    uint32_t user = 0, k = default_k;
+    const int fields = std::sscanf(line.c_str(), "%u %u", &user, &k);
+    if (fields < 1 || user >= num_users || k == 0) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "bad request at %s:%zu: \"%s\"", path.c_str(), line_no,
+          line.c_str()));
+    }
+    requests.push_back({user, k});
+  }
+  if (requests.empty()) {
+    return util::Status::InvalidArgument("request file is empty: " + path);
+  }
+  return requests;
+}
+
+double PercentileUs(const std::vector<int64_t>& sorted_ns, double p) {
+  if (sorted_ns.empty()) return 0.0;
+  const auto rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted_ns.size())));
+  const size_t idx = rank == 0 ? 0 : rank - 1;
+  return static_cast<double>(sorted_ns[std::min(idx,
+                                                sorted_ns.size() - 1)]) /
+         1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::Parse(argc, argv);
+  obs::InitFromFlags(flags);
+
+  const std::string snapshot_path = flags.GetString("snapshot", "");
+  if (snapshot_path.empty()) {
+    std::fprintf(stderr, "usage: hosr_serve --snapshot=FILE [flags]\n"
+                         "  see the header of tools/hosr_serve.cpp\n");
+    return 2;
+  }
+  auto snapshot = serve::LoadSnapshot(snapshot_path);
+  if (!snapshot.ok()) return Fail(snapshot.status());
+  const std::string model_name = snapshot->model_name;
+  const uint32_t num_users = snapshot->num_users();
+  const uint32_t num_items = snapshot->num_items();
+  const uint32_t dim = snapshot->dim();
+
+  // Seen-item filtering from the dataset's interactions, when provided.
+  std::unique_ptr<data::Dataset> dataset;
+  const std::string data_dir = flags.GetString("data", "");
+  if (!data_dir.empty()) {
+    auto loaded = data::LoadDataset(data_dir);
+    if (!loaded.ok()) return Fail(loaded.status());
+    if (loaded->num_users() != num_users ||
+        loaded->num_items() != num_items) {
+      return Fail(util::Status::InvalidArgument(util::StrFormat(
+          "dataset %ux%u does not match snapshot %ux%u",
+          loaded->num_users(), loaded->num_items(), num_users, num_items)));
+    }
+    dataset = std::make_unique<data::Dataset>(std::move(loaded).value());
+  }
+
+  const serve::InferenceEngine engine(
+      std::move(snapshot).value(),
+      dataset != nullptr ? &dataset->interactions : nullptr);
+
+  // Request stream: scripted file or synthetic (skewed) sampling.
+  const auto default_k = static_cast<uint32_t>(flags.GetInt("k", 10));
+  std::vector<Request> requests;
+  const std::string requests_path = flags.GetString("requests", "");
+  if (!requests_path.empty()) {
+    auto loaded = LoadRequests(requests_path, num_users, default_k);
+    if (!loaded.ok()) return Fail(loaded.status());
+    requests = std::move(loaded).value();
+  } else {
+    const auto n = static_cast<size_t>(flags.GetInt("num_requests", 10000));
+    const double zipf = flags.GetDouble("zipf", 0.9);
+    util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+    requests.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      requests.push_back({SampleUser(&rng, num_users, zipf), default_k});
+    }
+  }
+
+  const auto cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache_capacity", 65536));
+  std::unique_ptr<serve::ResultCache> cache;
+  if (cache_capacity > 0) {
+    cache = std::make_unique<serve::ResultCache>(serve::ResultCache::Options{
+        .capacity = cache_capacity,
+        .num_shards =
+            static_cast<size_t>(flags.GetInt("cache_shards", 16))});
+  }
+
+  const auto batch = static_cast<size_t>(flags.GetInt("batch", 0));
+  std::unique_ptr<serve::RequestBatcher> batcher;
+  if (batch > 0) {
+    batcher = std::make_unique<serve::RequestBatcher>(
+        &engine, serve::RequestBatcher::Options{
+                     .max_batch_size = batch,
+                     .max_linger_us = flags.GetInt("linger_us", 100),
+                     .cache = cache.get()});
+  }
+
+  size_t clients = static_cast<size_t>(flags.GetInt("clients", 0));
+  if (clients == 0) {
+    clients = std::max(1u, std::thread::hardware_concurrency());
+  }
+  clients = std::min(clients, requests.size());
+  const double qps_target = flags.GetDouble("qps", 0.0);
+
+  // Replay: each client thread owns a contiguous slice of the stream and,
+  // under --qps, paces itself to its share of the target rate.
+  std::vector<std::vector<int64_t>> latencies_ns(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const util::WallTimer replay_timer;
+  {
+    HOSR_TRACE_SPAN("serve/replay");
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        const size_t begin = c * requests.size() / clients;
+        const size_t end = (c + 1) * requests.size() / clients;
+        auto& recorded = latencies_ns[c];
+        recorded.reserve(end - begin);
+        const double per_thread_period_s =
+            qps_target > 0.0 ? static_cast<double>(clients) / qps_target
+                             : 0.0;
+        auto next_send = std::chrono::steady_clock::now();
+        for (size_t i = begin; i < end; ++i) {
+          if (per_thread_period_s > 0.0) {
+            std::this_thread::sleep_until(next_send);
+            next_send += std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(per_thread_period_s));
+          }
+          const Request& r = requests[i];
+          const auto start = std::chrono::steady_clock::now();
+          if (batcher != nullptr) {
+            auto result = batcher->Submit(r.user, r.k).get();
+            HOSR_CHECK(result.ok()) << result.status();
+          } else if (cache != nullptr) {
+            if (!cache->Get(r.user, r.k)) {
+              cache->Put(r.user, r.k, engine.TopKForUser(r.user, r.k));
+            }
+          } else {
+            const auto ranked = engine.TopKForUser(r.user, r.k);
+            HOSR_CHECK(!ranked.empty());
+          }
+          recorded.push_back(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double elapsed = replay_timer.ElapsedSeconds();
+
+  std::vector<int64_t> all_ns;
+  all_ns.reserve(requests.size());
+  for (const auto& per_client : latencies_ns) {
+    all_ns.insert(all_ns.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all_ns.begin(), all_ns.end());
+  const double qps =
+      elapsed > 0.0 ? static_cast<double>(all_ns.size()) / elapsed : 0.0;
+  double mean_us = 0.0;
+  for (const int64_t ns : all_ns) mean_us += static_cast<double>(ns);
+  mean_us = all_ns.empty() ? 0.0 : mean_us / static_cast<double>(all_ns.size()) / 1e3;
+  const double p50 = PercentileUs(all_ns, 50.0);
+  const double p95 = PercentileUs(all_ns, 95.0);
+  const double p99 = PercentileUs(all_ns, 99.0);
+
+  serve::ResultCache::Stats cache_stats;
+  if (cache != nullptr) cache_stats = cache->GetStats();
+  const double hit_rate = cache != nullptr ? cache->HitRate() : 0.0;
+
+  HOSR_GAUGE("serve/replay_qps").Set(qps);
+  HOSR_GAUGE("serve/replay_p50_us").Set(p50);
+  HOSR_GAUGE("serve/replay_p95_us").Set(p95);
+  HOSR_GAUGE("serve/replay_p99_us").Set(p99);
+  HOSR_GAUGE("serve/cache_hit_rate").Set(hit_rate);
+
+  const std::string summary = util::StrFormat(
+      "{\"snapshot\": \"%s\", \"model\": \"%s\", \"num_users\": %u, "
+      "\"num_items\": %u, \"dim\": %u, \"requests\": %zu, \"clients\": %zu, "
+      "\"batched\": %s, \"elapsed_seconds\": %.4f, \"qps\": %.1f, "
+      "\"latency_us\": {\"mean\": %.2f, \"p50\": %.2f, \"p95\": %.2f, "
+      "\"p99\": %.2f}, \"cache\": {\"enabled\": %s, \"hits\": %llu, "
+      "\"misses\": %llu, \"evictions\": %llu, \"hit_rate\": %.4f}}",
+      snapshot_path.c_str(), model_name.c_str(), num_users, num_items, dim,
+      all_ns.size(), clients, batcher != nullptr ? "true" : "false", elapsed,
+      qps, mean_us, p50, p95, p99, cache != nullptr ? "true" : "false",
+      static_cast<unsigned long long>(cache_stats.hits),
+      static_cast<unsigned long long>(cache_stats.misses),
+      static_cast<unsigned long long>(cache_stats.evictions), hit_rate);
+  std::printf("%s\n", summary.c_str());
+
+  const std::string summary_out = flags.GetString("summary_out", "");
+  if (!summary_out.empty()) {
+    std::ofstream out(summary_out, std::ios::trunc);
+    out << summary << "\n";
+    if (!out) return Fail(util::Status::IoError("cannot write " + summary_out));
+  }
+  if (batcher != nullptr) batcher->Stop();
+  obs::FlushArtifacts();
+  return 0;
+}
