@@ -1,10 +1,11 @@
 #include "autograd/checkpoint.h"
 
 #include <cstdint>
-#include <fstream>
 #include <map>
+#include <sstream>
 
 #include "tensor/serialize.h"
+#include "util/fileio.h"
 #include "util/string_util.h"
 
 namespace hosr::autograd {
@@ -34,48 +35,43 @@ void ParamSnapshot::Restore(ParamStore* store) const {
   }
 }
 
-util::Status SaveCheckpoint(const ParamStore& store,
-                            const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return util::Status::IoError("cannot open for writing: " + path);
+util::Status WriteParams(const ParamStore& store, std::ostream* out) {
   const uint32_t magic = kCheckpointMagic;
   const uint64_t count = store.size();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out->write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out->write(reinterpret_cast<const char*>(&count), sizeof(count));
   for (size_t i = 0; i < store.size(); ++i) {
     const Param* p = store.at(i);
     const uint64_t name_len = p->name.size();
-    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-    out.write(p->name.data(), static_cast<std::streamsize>(name_len));
-    HOSR_RETURN_IF_ERROR(tensor::WriteMatrix(p->value, &out));
+    out->write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out->write(p->name.data(), static_cast<std::streamsize>(name_len));
+    HOSR_RETURN_IF_ERROR(tensor::WriteMatrix(p->value, out));
   }
-  if (!out) return util::Status::IoError("checkpoint write failed: " + path);
+  if (!*out) return util::Status::IoError("parameter write failed");
   return util::Status::Ok();
 }
 
-util::Status LoadCheckpoint(const std::string& path, ParamStore* store) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return util::Status::IoError("cannot open for reading: " + path);
+util::Status ReadParams(std::istream* in, ParamStore* store) {
   uint32_t magic = 0;
   uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (!in || magic != kCheckpointMagic) {
-    return util::Status::InvalidArgument("not a HOSR checkpoint: " + path);
+  in->read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!*in || magic != kCheckpointMagic) {
+    return util::Status::InvalidArgument("not a HOSR parameter checkpoint");
   }
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in) return util::Status::IoError("checkpoint header read failed");
+  in->read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!*in) return util::Status::IoError("checkpoint header read failed");
 
   std::map<std::string, tensor::Matrix> loaded;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t name_len = 0;
-    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    if (!in || name_len > 4096) {
+    in->read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!*in || name_len > 4096) {
       return util::Status::InvalidArgument("bad parameter name length");
     }
     std::string name(name_len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(name_len));
-    if (!in) return util::Status::IoError("parameter name read failed");
-    HOSR_ASSIGN_OR_RETURN(tensor::Matrix value, tensor::ReadMatrix(&in));
+    in->read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!*in) return util::Status::IoError("parameter name read failed");
+    HOSR_ASSIGN_OR_RETURN(tensor::Matrix value, tensor::ReadMatrix(in));
     loaded.emplace(std::move(name), std::move(value));
   }
 
@@ -99,6 +95,19 @@ util::Status LoadCheckpoint(const std::string& path, ParamStore* store) {
     p->value = loaded.at(p->name);
   }
   return util::Status::Ok();
+}
+
+util::Status SaveCheckpoint(const ParamStore& store,
+                            const std::string& path) {
+  std::ostringstream body;
+  HOSR_RETURN_IF_ERROR(WriteParams(store, &body));
+  return util::WriteFileAtomicWithCrc(path, body.str());
+}
+
+util::Status LoadCheckpoint(const std::string& path, ParamStore* store) {
+  HOSR_ASSIGN_OR_RETURN(std::string body, util::ReadFileVerifyCrc(path));
+  std::istringstream in(body);
+  return ReadParams(&in, store);
 }
 
 }  // namespace hosr::autograd

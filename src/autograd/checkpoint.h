@@ -1,6 +1,7 @@
 #ifndef HOSR_AUTOGRAD_CHECKPOINT_H_
 #define HOSR_AUTOGRAD_CHECKPOINT_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -30,9 +31,17 @@ class ParamSnapshot {
   std::vector<tensor::Matrix> values_;
 };
 
-// On-disk checkpoint of a ParamStore: named matrices in a single binary
-// file. Loading matches parameters by name and validates shapes, so a
-// checkpoint survives reordering but not renaming.
+// Stream-level body of a parameter checkpoint: magic, count, then named
+// matrices. Embedded verbatim inside trainer checkpoints; ReadParams
+// matches parameters by name and validates shapes before mutating the
+// store, so a checkpoint survives reordering but not renaming.
+util::Status WriteParams(const ParamStore& store, std::ostream* out);
+util::Status ReadParams(std::istream* in, ParamStore* store);
+
+// On-disk checkpoint of a ParamStore: the WriteParams body wrapped in a
+// CRC-32 file envelope and written atomically (temp file + rename), so a
+// crash mid-save never clobbers the previous checkpoint and a corrupted
+// file loads as DataLoss instead of garbage weights.
 util::Status SaveCheckpoint(const ParamStore& store, const std::string& path);
 util::Status LoadCheckpoint(const std::string& path, ParamStore* store);
 

@@ -46,6 +46,11 @@ class BprSampler {
 
   NegativeSampling negative_sampling() const { return negative_sampling_; }
 
+  // RNG state capture/restore so a resumed training run draws the exact
+  // same triple sequence it would have uninterrupted.
+  util::RngState rng_state() const { return rng_.GetState(); }
+  void set_rng_state(const util::RngState& state) { rng_.SetState(state); }
+
  private:
   // Popularity^0.75-distributed item (ignoring the user constraint).
   uint32_t SamplePopularityItem();

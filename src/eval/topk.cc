@@ -9,6 +9,19 @@ TopKAccumulator::TopKAccumulator(uint32_t k) : k_(k) {
   heap_.reserve(k + 1);
 }
 
+void TopKAccumulator::ConsiderSlow(float score, uint32_t index) {
+  const Entry entry{score, index};
+  if (heap_.size() < k_) {
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), Better);
+  } else {
+    // Consider() only forwards candidates that beat the current worst.
+    std::pop_heap(heap_.begin(), heap_.end(), Better);
+    heap_.back() = entry;
+    std::push_heap(heap_.begin(), heap_.end(), Better);
+  }
+}
+
 std::vector<uint32_t> TopKAccumulator::Take() {
   std::sort_heap(heap_.begin(), heap_.end(), Better);
   std::vector<uint32_t> result;

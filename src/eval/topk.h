@@ -17,16 +17,14 @@ class TopKAccumulator {
   explicit TopKAccumulator(uint32_t k);
 
   // Offers one candidate; O(log K) when it displaces the current worst.
+  // The steady-state reject — heap already full, candidate no better than
+  // the current worst — is one compare, kept inline so scan loops pay a
+  // couple of instructions per losing item; heap surgery lives in topk.cc.
   void Consider(float score, uint32_t index) {
-    const Entry entry{score, index};
-    if (heap_.size() < k_) {
-      heap_.push_back(entry);
-      std::push_heap(heap_.begin(), heap_.end(), Better);
-    } else if (!heap_.empty() && Better(entry, heap_.front())) {
-      std::pop_heap(heap_.begin(), heap_.end(), Better);
-      heap_.back() = entry;
-      std::push_heap(heap_.begin(), heap_.end(), Better);
+    if (heap_.size() >= k_ && !Better(Entry{score, index}, heap_.front())) {
+      return;
     }
+    ConsiderSlow(score, index);
   }
 
   // Extracts the selected indices, best first, leaving the accumulator
@@ -37,6 +35,9 @@ class TopKAccumulator {
 
  private:
   using Entry = std::pair<float, uint32_t>;  // (score, item index)
+
+  // Inserts a candidate that either grows the heap or displaces the worst.
+  void ConsiderSlow(float score, uint32_t index);
 
   // True when `a` ranks strictly ahead of `b`.
   static bool Better(const Entry& a, const Entry& b) {

@@ -1,0 +1,257 @@
+#include "fault/fault.h"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace hosr::fault {
+
+namespace {
+
+// SplitMix64 finalizer: decorrelates (seed, point, token) into a uniform
+// 64-bit hash so probability triggers are pure functions of their inputs.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashString(std::string_view s) {
+  // FNV-1a.
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+util::StatusOr<util::StatusCode> ParseCodeName(std::string_view name) {
+  if (name == "unavailable") return util::StatusCode::kUnavailable;
+  if (name == "deadline_exceeded") return util::StatusCode::kDeadlineExceeded;
+  if (name == "resource_exhausted") {
+    return util::StatusCode::kResourceExhausted;
+  }
+  if (name == "io_error") return util::StatusCode::kIoError;
+  if (name == "internal") return util::StatusCode::kInternal;
+  if (name == "data_loss") return util::StatusCode::kDataLoss;
+  return util::Status::InvalidArgument(
+      util::StrFormat("unknown fault code \"%.*s\"",
+                      static_cast<int>(name.size()), name.data()));
+}
+
+util::StatusOr<double> ParseFloat(std::string_view text) {
+  try {
+    size_t consumed = 0;
+    const double value = std::stod(std::string(text), &consumed);
+    if (consumed != text.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("bad number \"%.*s\" in fault spec",
+                        static_cast<int>(text.size()), text.data()));
+  }
+}
+
+util::StatusOr<uint64_t> ParseCount(std::string_view text) {
+  HOSR_ASSIGN_OR_RETURN(const double value, ParseFloat(text));
+  if (value < 1.0 || value != static_cast<double>(
+                                  static_cast<uint64_t>(value))) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("fault spec count must be a positive integer, got "
+                        "\"%.*s\"", static_cast<int>(text.size()),
+                        text.data()));
+  }
+  return static_cast<uint64_t>(value);
+}
+
+std::vector<std::string_view> SplitView(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find(sep, start);
+    if (end == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+util::StatusOr<InjectionSpec> ParseClause(std::string_view clause) {
+  const std::vector<std::string_view> parts = SplitView(clause, ':');
+  if (parts.size() < 2 || parts[0].empty()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "fault clause \"%.*s\" must be point:option[:option...]",
+        static_cast<int>(clause.size()), clause.data()));
+  }
+  InjectionSpec spec;
+  spec.point = std::string(parts[0]);
+  int triggers = 0;
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const std::string_view opt = parts[i];
+    const size_t eq = opt.find('=');
+    const std::string_view key = opt.substr(0, eq);
+    const std::string_view value =
+        eq == std::string_view::npos ? std::string_view() : opt.substr(eq + 1);
+    if (key == "p") {
+      HOSR_ASSIGN_OR_RETURN(spec.probability, ParseFloat(value));
+      if (spec.probability < 0.0 || spec.probability > 1.0) {
+        return util::Status::InvalidArgument(
+            "fault probability must be in [0, 1]");
+      }
+      ++triggers;
+    } else if (key == "n") {
+      HOSR_ASSIGN_OR_RETURN(spec.every_nth, ParseCount(value));
+      ++triggers;
+    } else if (key == "once") {
+      spec.once_at = 1;
+      if (eq != std::string_view::npos) {
+        HOSR_ASSIGN_OR_RETURN(spec.once_at, ParseCount(value));
+      }
+      ++triggers;
+    } else if (key == "code") {
+      HOSR_ASSIGN_OR_RETURN(spec.code, ParseCodeName(value));
+      spec.has_code = true;
+    } else if (key == "delay_ms") {
+      HOSR_ASSIGN_OR_RETURN(spec.delay_ms, ParseFloat(value));
+      if (spec.delay_ms < 0.0) {
+        return util::Status::InvalidArgument("fault delay_ms must be >= 0");
+      }
+    } else {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "unknown fault option \"%.*s\"", static_cast<int>(opt.size()),
+          opt.data()));
+    }
+  }
+  if (triggers != 1) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "fault clause \"%.*s\" needs exactly one trigger (p=, n=, or once)",
+        static_cast<int>(clause.size()), clause.data()));
+  }
+  return spec;
+}
+
+}  // namespace
+
+util::StatusOr<std::vector<InjectionSpec>> ParseFaultSpec(
+    std::string_view spec) {
+  std::vector<InjectionSpec> specs;
+  if (spec.empty()) return specs;
+  for (const std::string_view clause : SplitView(spec, ',')) {
+    if (clause.empty()) continue;
+    HOSR_ASSIGN_OR_RETURN(InjectionSpec parsed, ParseClause(clause));
+    specs.push_back(std::move(parsed));
+  }
+  return specs;
+}
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry;
+  return *registry;
+}
+
+util::Status FaultRegistry::Configure(std::string_view spec, uint64_t seed) {
+  HOSR_ASSIGN_OR_RETURN(std::vector<InjectionSpec> specs,
+                        ParseFaultSpec(spec));
+  Arm(std::move(specs), seed);
+  return util::Status::Ok();
+}
+
+void FaultRegistry::Arm(std::vector<InjectionSpec> specs, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  seed_ = seed;
+  for (InjectionSpec& spec : specs) {
+    auto point = std::make_unique<Point>();
+    point->seed_hash = Mix64(seed ^ HashString(spec.point));
+    const std::string name = spec.point;
+    point->spec = std::move(spec);
+    points_[name] = std::move(point);
+  }
+  armed_.store(!points_.empty(), std::memory_order_relaxed);
+}
+
+void FaultRegistry::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+util::Status FaultRegistry::InjectImpl(std::string_view point,
+                                       uint64_t token) {
+  Point* p = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = points_.find(point);
+    if (it == points_.end()) return util::Status::Ok();
+    p = it->second.get();
+  }
+  // 1-based hit index; also the default token for probability triggers.
+  const uint64_t hit =
+      p->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  bool fire = false;
+  const InjectionSpec& spec = p->spec;
+  if (spec.probability >= 0.0) {
+    const uint64_t t = token == kAutoToken ? hit : token;
+    const uint64_t h = Mix64(p->seed_hash ^ Mix64(t));
+    // Top 53 bits -> uniform double in [0, 1).
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    fire = u < spec.probability;
+  } else if (spec.every_nth > 0) {
+    fire = hit % spec.every_nth == 0;
+  } else if (spec.once_at > 0) {
+    fire = hit == spec.once_at;
+  }
+  if (!fire) return util::Status::Ok();
+
+  p->fired.fetch_add(1, std::memory_order_relaxed);
+  HOSR_COUNTER("fault/injected").Increment();
+  if (spec.delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(spec.delay_ms));
+    // A pure latency clause (no explicit code=) succeeds after the sleep.
+    if (!spec.has_code) return util::Status::Ok();
+  }
+  return util::Status(spec.code,
+                      util::StrFormat("injected fault at %s (hit %llu)",
+                                      spec.point.c_str(),
+                                      static_cast<unsigned long long>(hit)));
+}
+
+PointStats FaultRegistry::StatsFor(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  PointStats stats;
+  if (it != points_.end()) {
+    stats.hits = it->second->hits.load(std::memory_order_relaxed);
+    stats.fired = it->second->fired.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+uint64_t FaultRegistry::TotalInjected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [name, point] : points_) {
+    total += point->fired.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::string> FaultRegistry::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) names.push_back(name);
+  return names;
+}
+
+}  // namespace hosr::fault

@@ -1,0 +1,130 @@
+#ifndef HOSR_FAULT_FAULT_H_
+#define HOSR_FAULT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace hosr::fault {
+
+// Deterministic, seedable fault injection (docs/ROBUSTNESS.md).
+//
+// Code under test calls fault::Inject("point.name") at named injection
+// points; the registry decides — from the armed spec, the global seed, and
+// a deterministic token — whether that hit raises an error Status or
+// injects latency. When nothing is armed the check is a single relaxed
+// atomic load, so shipping the injection points costs nothing in
+// production builds.
+//
+// Spec grammar (one flag value arms any number of points):
+//
+//   fault_spec   := clause (',' clause)*
+//   clause       := point (':' option)+
+//   option       := 'p=' FLOAT          fire with probability p per hit
+//                 | 'n=' INT            fire on every Nth hit (1-based)
+//                 | 'once' ['=' INT]    fire exactly once, on the Kth hit
+//                 | 'code=' NAME        status to raise (default unavailable)
+//                 | 'delay_ms=' FLOAT   sleep instead of (or before) failing
+//
+//   NAME := unavailable | deadline_exceeded | resource_exhausted
+//         | io_error | internal | data_loss
+//
+// Examples:
+//   engine.score:p=0.2                     fail 20% of scoring calls
+//   engine.score:p=0.05:delay_ms=3        slow 5% of calls by 3ms, then fail
+//   cli.train_crash:once=2                 crash after the 2nd epoch
+//   snapshot.write:n=3:code=io_error       every 3rd write fails with IoError
+//
+// Determinism: a probability trigger hashes (seed, point, token). Callers
+// on a hot path pass an explicit token (e.g. request index * attempts +
+// attempt) so the fire/no-fire decision is a pure function of the request,
+// independent of thread interleaving; with no token the per-point hit
+// counter is used, which keeps total fire *counts* reproducible even under
+// concurrency. Counter triggers (n=, once=) always use the hit counter.
+
+// Token value meaning "use the per-point hit counter".
+inline constexpr uint64_t kAutoToken = ~0ull;
+
+struct InjectionSpec {
+  std::string point;
+  // Exactly one trigger is active per clause.
+  double probability = -1.0;  // p=  (in [0,1]); negative = unset
+  uint64_t every_nth = 0;     // n=  (fires on hits N, 2N, 3N, ...)
+  uint64_t once_at = 0;       // once[=K]  (fires only on hit K)
+  util::StatusCode code = util::StatusCode::kUnavailable;
+  bool has_code = false;      // explicit code= (delay-only clauses omit it)
+  double delay_ms = 0.0;
+};
+
+// Parses the grammar above. Returns InvalidArgument with a pointer at the
+// offending clause on any malformed input.
+util::StatusOr<std::vector<InjectionSpec>> ParseFaultSpec(
+    std::string_view spec);
+
+// Per-point observability snapshot.
+struct PointStats {
+  uint64_t hits = 0;
+  uint64_t fired = 0;
+};
+
+class FaultRegistry {
+ public:
+  static FaultRegistry& Global();
+
+  // Parses and arms `spec` under `seed`. Replaces any previous
+  // configuration. An empty spec disarms everything.
+  util::Status Configure(std::string_view spec, uint64_t seed);
+
+  // Arms pre-parsed specs (test convenience).
+  void Arm(std::vector<InjectionSpec> specs, uint64_t seed);
+
+  // Removes every injection point and restores the zero-cost fast path.
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // The slow path behind fault::Inject; call that instead.
+  util::Status InjectImpl(std::string_view point, uint64_t token);
+
+  // Stats for one point (zeros when the point is not armed) and the
+  // process-wide injected total (mirrors the fault/injected counter).
+  PointStats StatsFor(std::string_view point) const;
+  uint64_t TotalInjected() const;
+  std::vector<std::string> ArmedPoints() const;
+
+ private:
+  FaultRegistry() = default;
+
+  struct Point {
+    InjectionSpec spec;
+    uint64_t seed_hash = 0;  // splitmix(seed ^ hash(point))
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> fired{0};
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Point>, std::less<>> points_;
+  uint64_t seed_ = 0;
+};
+
+// Evaluates the named injection point: Ok unless an armed trigger fires, in
+// which case the configured latency is injected and/or the configured error
+// Status is returned. Near-zero cost (one relaxed load) when disarmed.
+inline util::Status Inject(std::string_view point,
+                           uint64_t token = kAutoToken) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  if (!registry.armed()) return util::Status::Ok();
+  return registry.InjectImpl(point, token);
+}
+
+}  // namespace hosr::fault
+
+#endif  // HOSR_FAULT_FAULT_H_

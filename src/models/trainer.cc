@@ -1,11 +1,118 @@
 #include "models/trainer.h"
 
+#include <sstream>
+
+#include "autograd/checkpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fileio.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace hosr::models {
+
+namespace {
+
+constexpr uint32_t kTrainStateMagic = 0x4854434b;     // "HTCK"
+constexpr uint32_t kTrainStateVersion = 1;
+constexpr uint32_t kEndianMarker = 0x01020304;
+constexpr uint32_t kTrainStateSentinel = 0x4b435448;  // magic reversed
+
+template <typename T>
+void WritePod(std::ostream* out, const T& v) {
+  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadPod(std::istream* in, T* v) {
+  in->read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(*in);
+}
+
+void WriteString(std::ostream* out, const std::string& s) {
+  WritePod<uint64_t>(out, s.size());
+  out->write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+util::StatusOr<std::string> ReadString(std::istream* in) {
+  uint64_t len = 0;
+  if (!ReadPod(in, &len) || len > 4096) {
+    return util::Status::DataLoss("bad string length in training state");
+  }
+  std::string s(len, '\0');
+  in->read(s.data(), static_cast<std::streamsize>(len));
+  if (!*in) return util::Status::DataLoss("truncated string in training state");
+  return s;
+}
+
+void WriteRngState(std::ostream* out, const util::RngState& state) {
+  for (const uint64_t word : state.s) WritePod(out, word);
+  WritePod<uint8_t>(out, state.has_spare_gaussian ? 1 : 0);
+  WritePod(out, state.spare_gaussian);
+}
+
+util::StatusOr<util::RngState> ReadRngState(std::istream* in) {
+  util::RngState state;
+  for (uint64_t& word : state.s) {
+    if (!ReadPod(in, &word)) {
+      return util::Status::DataLoss("truncated RNG state");
+    }
+  }
+  uint8_t has_spare = 0;
+  if (!ReadPod(in, &has_spare) || !ReadPod(in, &state.spare_gaussian)) {
+    return util::Status::DataLoss("truncated RNG state");
+  }
+  if (has_spare > 1) {
+    return util::Status::DataLoss("bad RNG spare flag");
+  }
+  state.has_spare_gaussian = has_spare == 1;
+  if (state.s[0] == 0 && state.s[1] == 0 && state.s[2] == 0 &&
+      state.s[3] == 0) {
+    return util::Status::DataLoss("all-zero RNG state");
+  }
+  return state;
+}
+
+// The config fields a checkpoint bakes in: restoring under a different
+// config would silently train a different run, so they are written out and
+// compared verbatim on load.
+void WriteConfig(std::ostream* out, const TrainConfig& config) {
+  WritePod(out, config.epochs);
+  WritePod(out, config.batch_size);
+  WritePod(out, config.learning_rate);
+  WritePod(out, config.weight_decay);
+  WritePod(out, config.seed);
+  WritePod<uint32_t>(out,
+                     static_cast<uint32_t>(config.negative_sampling));
+  WriteString(out, config.optimizer);
+}
+
+util::Status CheckConfig(std::istream* in, const TrainConfig& config) {
+  TrainConfig saved;
+  uint32_t negative_sampling = 0;
+  if (!ReadPod(in, &saved.epochs) || !ReadPod(in, &saved.batch_size) ||
+      !ReadPod(in, &saved.learning_rate) ||
+      !ReadPod(in, &saved.weight_decay) || !ReadPod(in, &saved.seed) ||
+      !ReadPod(in, &negative_sampling)) {
+    return util::Status::DataLoss("truncated training config");
+  }
+  HOSR_ASSIGN_OR_RETURN(saved.optimizer, ReadString(in));
+  if (saved.epochs != config.epochs ||
+      saved.batch_size != config.batch_size ||
+      saved.learning_rate != config.learning_rate ||
+      saved.weight_decay != config.weight_decay ||
+      saved.seed != config.seed ||
+      negative_sampling !=
+          static_cast<uint32_t>(config.negative_sampling) ||
+      saved.optimizer != config.optimizer) {
+    return util::Status::FailedPrecondition(
+        "training state was written under a different TrainConfig");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
 
 util::Status TrainConfig::Validate() const {
   if (epochs == 0) return util::Status::InvalidArgument("epochs must be > 0");
@@ -92,11 +199,75 @@ EpochStats BprTrainer::RunEpoch() {
 
 std::vector<EpochStats> BprTrainer::Train() {
   std::vector<EpochStats> history;
-  history.reserve(config_.epochs);
-  for (uint32_t e = 0; e < config_.epochs; ++e) {
+  if (epoch_ >= config_.epochs) return history;
+  history.reserve(config_.epochs - epoch_);
+  while (epoch_ < config_.epochs) {
     history.push_back(RunEpoch());
   }
   return history;
+}
+
+util::Status BprTrainer::SaveTrainingState(const std::string& path) const {
+  std::ostringstream body;
+  WritePod(&body, kTrainStateMagic);
+  WritePod(&body, kTrainStateVersion);
+  WritePod(&body, kEndianMarker);
+  WritePod(&body, epoch_);
+  WriteConfig(&body, config_);
+  WriteString(&body, model_->name());
+  WriteRngState(&body, rng_.GetState());
+  WriteRngState(&body, sampler_.rng_state());
+  HOSR_RETURN_IF_ERROR(optimizer_->SaveState(&body));
+  HOSR_RETURN_IF_ERROR(autograd::WriteParams(*model_->params(), &body));
+  WritePod(&body, kTrainStateSentinel);
+  if (!body) return util::Status::IoError("training state serialization failed");
+  return util::WriteFileAtomicWithCrc(path, body.str());
+}
+
+util::Status BprTrainer::RestoreTrainingState(const std::string& path) {
+  HOSR_ASSIGN_OR_RETURN(std::string raw, util::ReadFileVerifyCrc(path));
+  std::istringstream in(raw);
+
+  uint32_t magic = 0, version = 0, endian = 0, epoch = 0;
+  if (!ReadPod(&in, &magic) || magic != kTrainStateMagic) {
+    return util::Status::InvalidArgument("not a HOSR training state: " + path);
+  }
+  if (!ReadPod(&in, &version) || version != kTrainStateVersion) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("unsupported training state version %u", version));
+  }
+  if (!ReadPod(&in, &endian) || endian != kEndianMarker) {
+    return util::Status::InvalidArgument(
+        "training state written on a foreign-endian machine");
+  }
+  if (!ReadPod(&in, &epoch) || epoch > config_.epochs) {
+    return util::Status::DataLoss("implausible epoch counter");
+  }
+  HOSR_RETURN_IF_ERROR(CheckConfig(&in, config_));
+  HOSR_ASSIGN_OR_RETURN(std::string model_name, ReadString(&in));
+  if (model_name != model_->name()) {
+    return util::Status::FailedPrecondition(
+        "training state is for model '" + model_name + "', trainer has '" +
+        model_->name() + "'");
+  }
+  HOSR_ASSIGN_OR_RETURN(util::RngState trainer_rng, ReadRngState(&in));
+  HOSR_ASSIGN_OR_RETURN(util::RngState sampler_rng, ReadRngState(&in));
+
+  // Stage the mutable state: the optimizer and params restore in place
+  // only after every header check above has passed, and the stream is
+  // validated down to the sentinel before the cheap scalar state flips.
+  HOSR_RETURN_IF_ERROR(optimizer_->LoadState(&in));
+  HOSR_RETURN_IF_ERROR(autograd::ReadParams(&in, model_->params()));
+  uint32_t sentinel = 0;
+  if (!ReadPod(&in, &sentinel) || sentinel != kTrainStateSentinel) {
+    return util::Status::DataLoss("training state missing trailing sentinel");
+  }
+
+  rng_.SetState(trainer_rng);
+  sampler_.set_rng_state(sampler_rng);
+  epoch_ = epoch;
+  HOSR_COUNTER("train/resumes").Increment();
+  return util::Status::Ok();
 }
 
 }  // namespace hosr::models

@@ -47,7 +47,9 @@ class BprTrainer {
   BprTrainer(RankingModel* model, const data::InteractionMatrix* train,
              const TrainConfig& config);
 
-  // Runs `config.epochs` epochs; returns per-epoch stats.
+  // Runs the remaining epochs (epoch() .. config.epochs); returns their
+  // stats. On a fresh trainer that is all `config.epochs` epochs; after
+  // RestoreTrainingState it continues where the checkpoint left off.
   std::vector<EpochStats> Train();
 
   // Runs a single epoch (one pass worth of sampled batches); exposed so
@@ -55,6 +57,22 @@ class BprTrainer {
   EpochStats RunEpoch();
 
   const TrainConfig& config() const { return config_; }
+
+  // Next epoch to run (== number of completed epochs).
+  uint32_t epoch() const { return epoch_; }
+
+  // Crash-safe training checkpoint: model parameters, optimizer state,
+  // both RNG streams (trainer + sampler), and the epoch counter, written
+  // atomically with a CRC-32 footer. A run restored from epoch E produces
+  // bit-identical parameters to one that trained straight through — the
+  // resume contract robustness_test locks in.
+  //
+  // RestoreTrainingState refuses checkpoints from a different model,
+  // optimizer, or training config (FailedPrecondition) and corrupted files
+  // (DataLoss, via the whole-file CRC gate); rejected checkpoints leave
+  // the trainer untouched.
+  util::Status SaveTrainingState(const std::string& path) const;
+  util::Status RestoreTrainingState(const std::string& path);
 
  private:
   RankingModel* model_;

@@ -2,21 +2,19 @@
 
 #include <chrono>
 #include <cstdlib>
-#include <fstream>
 #include <memory>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fileio.h"
 #include "util/logging.h"
 
 namespace hosr::obs {
 
 util::Status WriteMetricsJson(const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return util::Status::IoError("cannot open " + path);
-  out << Registry::Global().ToJson();
-  if (!out) return util::Status::IoError("failed writing " + path);
-  return util::Status::Ok();
+  // Atomic so a periodic snapshot interrupted by a crash (or an injected
+  // fault) never leaves a half-written JSON file for dashboards to choke on.
+  return util::WriteFileAtomic(path, Registry::Global().ToJson());
 }
 
 StatsReporter::StatsReporter(Options options) : options_(std::move(options)) {

@@ -1,10 +1,10 @@
 #include "obs/trace.h"
 
-#include <fstream>
 #include <memory>
 #include <mutex>
 #include <set>
 
+#include "util/fileio.h"
 #include "util/string_util.h"
 
 namespace hosr::obs {
@@ -159,11 +159,9 @@ std::string TraceToJson() {
 }
 
 util::Status WriteTraceJson(const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return util::Status::IoError("cannot open " + path);
-  out << TraceToJson();
-  if (!out) return util::Status::IoError("failed writing " + path);
-  return util::Status::Ok();
+  // Atomic: a crash mid-flush leaves the previous trace intact rather
+  // than a truncated JSON array.
+  return util::WriteFileAtomic(path, TraceToJson());
 }
 
 }  // namespace hosr::obs

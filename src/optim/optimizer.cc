@@ -1,12 +1,51 @@
 #include "optim/optimizer.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 
+#include "tensor/serialize.h"
 #include "util/logging.h"
 
 namespace hosr::optim {
 
 namespace {
+
+// Optimizer state matrices are framed as a count followed by the matrices
+// themselves (tensor::WriteMatrix format). Sane-count guard: a trainer
+// checkpoint never carries more slots than parameters, and no model in this
+// codebase has anywhere near this many.
+constexpr uint64_t kMaxStateSlots = 1u << 20;
+
+util::Status WriteStateVector(const std::vector<tensor::Matrix>& state,
+                              std::ostream* out) {
+  const uint64_t count = state.size();
+  out->write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const tensor::Matrix& m : state) {
+    HOSR_RETURN_IF_ERROR(tensor::WriteMatrix(m, out));
+  }
+  if (!*out) return util::Status::IoError("failed writing optimizer state");
+  return util::Status::Ok();
+}
+
+util::Status ReadStateVector(std::istream* in,
+                             std::vector<tensor::Matrix>* state) {
+  uint64_t count = 0;
+  in->read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!*in) return util::Status::IoError("failed reading optimizer state");
+  if (count > kMaxStateSlots) {
+    return util::Status::DataLoss("implausible optimizer state slot count: " +
+                                  std::to_string(count));
+  }
+  std::vector<tensor::Matrix> loaded;
+  loaded.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    HOSR_ASSIGN_OR_RETURN(tensor::Matrix m, tensor::ReadMatrix(in));
+    loaded.push_back(std::move(m));
+  }
+  *state = std::move(loaded);
+  return util::Status::Ok();
+}
 
 // Lazily sizes per-parameter optimizer state to match the store.
 void EnsureState(const autograd::ParamStore& params,
@@ -93,6 +132,53 @@ void AdaGrad::Step(autograd::ParamStore* params) {
       value[j] -= learning_rate_ * g / (std::sqrt(acc[j]) + epsilon_);
     }
   }
+}
+
+util::Status Sgd::SaveState(std::ostream* out) const {
+  return WriteStateVector(velocity_, out);
+}
+
+util::Status Sgd::LoadState(std::istream* in) {
+  return ReadStateVector(in, &velocity_);
+}
+
+util::Status RmsProp::SaveState(std::ostream* out) const {
+  return WriteStateVector(mean_square_, out);
+}
+
+util::Status RmsProp::LoadState(std::istream* in) {
+  return ReadStateVector(in, &mean_square_);
+}
+
+util::Status Adam::SaveState(std::ostream* out) const {
+  out->write(reinterpret_cast<const char*>(&t_), sizeof(t_));
+  HOSR_RETURN_IF_ERROR(WriteStateVector(m_, out));
+  return WriteStateVector(v_, out);
+}
+
+util::Status Adam::LoadState(std::istream* in) {
+  int64_t t = 0;
+  in->read(reinterpret_cast<char*>(&t), sizeof(t));
+  if (!*in) return util::Status::IoError("failed reading adam step counter");
+  if (t < 0) {
+    return util::Status::DataLoss("negative adam step counter: " +
+                                  std::to_string(t));
+  }
+  std::vector<tensor::Matrix> m, v;
+  HOSR_RETURN_IF_ERROR(ReadStateVector(in, &m));
+  HOSR_RETURN_IF_ERROR(ReadStateVector(in, &v));
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return util::Status::Ok();
+}
+
+util::Status AdaGrad::SaveState(std::ostream* out) const {
+  return WriteStateVector(accum_, out);
+}
+
+util::Status AdaGrad::LoadState(std::istream* in) {
+  return ReadStateVector(in, &accum_);
 }
 
 std::unique_ptr<Optimizer> MakeOptimizer(const std::string& name,

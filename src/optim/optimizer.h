@@ -1,11 +1,13 @@
 #ifndef HOSR_OPTIM_OPTIMIZER_H_
 #define HOSR_OPTIM_OPTIMIZER_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "autograd/param.h"
+#include "util/statusor.h"
 
 namespace hosr::optim {
 
@@ -26,6 +28,15 @@ class Optimizer {
   virtual void Step(autograd::ParamStore* params) = 0;
 
   virtual std::string name() const = 0;
+
+  // Serializes the optimizer's internal state (momentum/moment accumulators,
+  // step counters) so training can resume bit-identically after a crash.
+  // The format is optimizer-specific; a checkpoint written by one optimizer
+  // must be restored by the same optimizer type (the trainer checkpoint
+  // records the name and enforces this). Saving before the first Step() is
+  // valid and round-trips the lazy-unallocated state.
+  virtual util::Status SaveState(std::ostream* out) const = 0;
+  virtual util::Status LoadState(std::istream* in) = 0;
 
   float learning_rate() const { return learning_rate_; }
   void set_learning_rate(float lr) { learning_rate_ = lr; }
@@ -49,6 +60,8 @@ class Sgd : public Optimizer {
 
   void Step(autograd::ParamStore* params) override;
   std::string name() const override { return "sgd"; }
+  util::Status SaveState(std::ostream* out) const override;
+  util::Status LoadState(std::istream* in) override;
 
  private:
   float momentum_;
@@ -66,6 +79,8 @@ class RmsProp : public Optimizer {
 
   void Step(autograd::ParamStore* params) override;
   std::string name() const override { return "rmsprop"; }
+  util::Status SaveState(std::ostream* out) const override;
+  util::Status LoadState(std::istream* in) override;
 
  private:
   float decay_;
@@ -85,6 +100,8 @@ class Adam : public Optimizer {
 
   void Step(autograd::ParamStore* params) override;
   std::string name() const override { return "adam"; }
+  util::Status SaveState(std::ostream* out) const override;
+  util::Status LoadState(std::istream* in) override;
 
  private:
   float beta1_;
@@ -104,6 +121,8 @@ class AdaGrad : public Optimizer {
 
   void Step(autograd::ParamStore* params) override;
   std::string name() const override { return "adagrad"; }
+  util::Status SaveState(std::ostream* out) const override;
+  util::Status LoadState(std::istream* in) override;
 
  private:
   float epsilon_;

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <map>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace hosr::serve {
 
@@ -14,7 +14,9 @@ RequestBatcher::RequestBatcher(const InferenceEngine* engine)
     : RequestBatcher(engine, Options{}) {}
 
 RequestBatcher::RequestBatcher(const InferenceEngine* engine, Options options)
-    : engine_(engine), options_(options) {
+    : engine_(engine),
+      options_(options),
+      executor_(engine, options.hardened) {
   HOSR_CHECK(engine != nullptr);
   HOSR_CHECK(options_.max_batch_size > 0);
   HOSR_CHECK(options_.queue_capacity > 0);
@@ -23,9 +25,14 @@ RequestBatcher::RequestBatcher(const InferenceEngine* engine, Options options)
 
 RequestBatcher::~RequestBatcher() { Stop(); }
 
-std::future<util::StatusOr<RankedItems>> RequestBatcher::Submit(uint32_t user,
-                                                                uint32_t k) {
-  std::promise<util::StatusOr<RankedItems>> promise;
+std::future<util::StatusOr<ServeResponse>> RequestBatcher::Submit(
+    uint32_t user, uint32_t k) {
+  return Submit(user, k, kNoDeadline);
+}
+
+std::future<util::StatusOr<ServeResponse>> RequestBatcher::Submit(
+    uint32_t user, uint32_t k, Deadline deadline) {
+  std::promise<util::StatusOr<ServeResponse>> promise;
   auto future = promise.get_future();
   if (k == 0) {
     promise.set_value(util::Status::InvalidArgument("k must be >= 1"));
@@ -38,16 +45,26 @@ std::future<util::StatusOr<RankedItems>> RequestBatcher::Submit(uint32_t user,
     return future;
   }
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    space_available_.wait(lock, [this] {
-      return stopping_ || queue_.size() < options_.queue_capacity;
-    });
+    std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       promise.set_value(
           util::Status::FailedPrecondition("batcher is stopped"));
       return future;
     }
-    queue_.push_back(Request{user, k, std::move(promise)});
+    if (queue_.size() >= options_.queue_capacity) {
+      // Load shedding: failing fast under overload bounds both memory and
+      // queueing delay; blocking here would just move the overload into
+      // every client thread.
+      HOSR_COUNTER("serve/shed").Increment();
+      promise.set_value(util::Status::ResourceExhausted(
+          "request queue full (" + std::to_string(options_.queue_capacity) +
+          " pending)"));
+      return future;
+    }
+    queue_.push_back(Request{user, k, deadline,
+                             next_token_.fetch_add(1,
+                                                   std::memory_order_relaxed),
+                             std::move(promise)});
   }
   work_available_.notify_one();
   HOSR_COUNTER("serve/batcher_requests_total").Increment();
@@ -60,10 +77,9 @@ void RequestBatcher::Stop() {
     stopping_ = true;
   }
   work_available_.notify_all();
-  space_available_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
-  // The dispatcher drains the queue before exiting, but fail anything that
-  // raced in.
+  // Complete whatever the dispatcher left behind so no caller hangs on an
+  // unfulfilled promise.
   std::deque<Request> leftover;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -71,7 +87,7 @@ void RequestBatcher::Stop() {
   }
   for (Request& r : leftover) {
     r.promise.set_value(
-        util::Status::FailedPrecondition("batcher stopped before dispatch"));
+        util::Status::Unavailable("batcher stopped before dispatch"));
   }
 }
 
@@ -82,15 +98,16 @@ void RequestBatcher::DispatchLoop() {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock,
                            [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping with nothing left to serve
+      if (stopping_) return;  // Stop() fails anything still queued
       // Linger briefly for co-arriving requests so batches fill up, but
       // never hold a full batch back.
       if (options_.max_linger_us > 0 &&
-          queue_.size() < options_.max_batch_size && !stopping_) {
+          queue_.size() < options_.max_batch_size) {
         work_available_.wait_for(
             lock, std::chrono::microseconds(options_.max_linger_us), [this] {
               return stopping_ || queue_.size() >= options_.max_batch_size;
             });
+        if (stopping_) return;
       }
       const size_t take = std::min(queue_.size(), options_.max_batch_size);
       batch.reserve(take);
@@ -99,7 +116,6 @@ void RequestBatcher::DispatchLoop() {
         queue_.pop_front();
       }
     }
-    space_available_.notify_all();
     ExecuteBatch(std::move(batch));
   }
 }
@@ -109,32 +125,47 @@ void RequestBatcher::ExecuteBatch(std::vector<Request> batch) {
   HOSR_HISTOGRAM("serve/dispatch_batch_size")
       .Observe(static_cast<double>(batch.size()));
 
-  // Cache pass: fulfill hits immediately, group misses by K so each group
-  // becomes one engine batch.
-  std::map<uint32_t, std::vector<size_t>> misses_by_k;  // k -> batch indices
+  // Cache pass: fulfill hits immediately; collect misses for the engine.
+  std::vector<size_t> misses;
+  misses.reserve(batch.size());
+  const auto now = std::chrono::steady_clock::now();
   for (size_t i = 0; i < batch.size(); ++i) {
+    Request& r = batch[i];
+    // A request that expired while queued fails fast — burning engine
+    // time on an answer nobody is waiting for starves live requests.
+    if (r.deadline != kNoDeadline && now >= r.deadline) {
+      HOSR_COUNTER("serve/deadline_exceeded").Increment();
+      r.promise.set_value(
+          util::Status::DeadlineExceeded("request expired in queue"));
+      continue;
+    }
     if (options_.cache != nullptr) {
-      if (auto hit = options_.cache->Get(batch[i].user, batch[i].k)) {
-        batch[i].promise.set_value(std::move(*hit));
+      if (auto hit = options_.cache->Get(r.user, r.k)) {
+        r.promise.set_value(
+            ServeResponse{std::move(*hit), /*degraded=*/false});
         continue;
       }
     }
-    misses_by_k[batch[i].k].push_back(i);
+    misses.push_back(i);
   }
 
-  for (auto& [k, indices] : misses_by_k) {
-    std::vector<uint32_t> users;
-    users.reserve(indices.size());
-    for (const size_t i : indices) users.push_back(batch[i].user);
-    auto results = engine_->TopKBatch(users, k);
-    for (size_t j = 0; j < indices.size(); ++j) {
-      Request& r = batch[indices[j]];
-      if (options_.cache != nullptr) {
-        options_.cache->Put(r.user, k, results[j]);
-      }
-      r.promise.set_value(std::move(results[j]));
-    }
-  }
+  // Hardened execution of the misses, sharded across the pool. Each
+  // request is independent: one faulted or deadline-blown query degrades
+  // or fails alone instead of sinking its whole batch.
+  util::ParallelFor(
+      0, misses.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t idx = begin; idx < end; ++idx) {
+          Request& r = batch[misses[idx]];
+          auto response = executor_.Execute(r.user, r.k, r.token);
+          if (response.ok() && !response->degraded &&
+              options_.cache != nullptr) {
+            options_.cache->Put(r.user, r.k, response->items);
+          }
+          r.promise.set_value(std::move(response));
+        }
+      },
+      /*min_chunk=*/1);
 }
 
 }  // namespace hosr::serve

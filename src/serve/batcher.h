@@ -1,6 +1,7 @@
 #ifndef HOSR_SERVE_BATCHER_H_
 #define HOSR_SERVE_BATCHER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -11,23 +12,24 @@
 
 #include "serve/cache.h"
 #include "serve/engine.h"
+#include "serve/hardened.h"
 #include "util/statusor.h"
 
 namespace hosr::serve {
 
-using RankedItems = std::vector<uint32_t>;
-
 // Bounded-queue request batcher: concurrent callers Submit() single-user
-// top-K queries; a dispatcher thread coalesces them into batches that are
-// embedding-matrix friendly (one TopKBatch per distinct K in the batch) and
-// fulfills each request's future. An optional ResultCache short-circuits
-// repeat queries and absorbs fresh results.
+// top-K queries; a dispatcher thread coalesces them into batches and
+// fulfills each request's future through the HardenedExecutor pipeline
+// (deadline -> retry -> degraded fallback). An optional ResultCache
+// short-circuits repeat queries and absorbs fresh full-fidelity results.
 //
-// Backpressure: Submit() blocks while the queue holds `queue_capacity`
-// pending requests, bounding memory under overload instead of growing
-// without limit. After Stop() (or destruction), further Submits fail with
-// FailedPrecondition and queued requests are drained with Unavailable-style
-// errors rather than broken promises.
+// Admission control: a full queue sheds the request immediately with
+// ResourceExhausted (counted as serve/shed) — Submit() never blocks — and
+// a stopped batcher fails Submits with FailedPrecondition. Requests that
+// expire while queued fail fast with DeadlineExceeded at dispatch instead
+// of burning engine time. On Stop() (or destruction) every pending future
+// is completed: queued requests drain with Unavailable, so no caller can
+// hang on a promise the dispatcher will never fulfill.
 class RequestBatcher {
  public:
   struct Options {
@@ -38,6 +40,10 @@ class RequestBatcher {
     // coalescing waits (each wakeup drains whatever is queued).
     int64_t max_linger_us = 100;
     ResultCache* cache = nullptr;  // not owned; may be null
+    // Per-request hardening (deadline budget, retry policy, degraded
+    // fallback). The default is maximally permissive: no deadline, no
+    // retries beyond the first attempt, no fallback.
+    HardenedOptions hardened;
   };
 
   // `engine` must outlive the batcher.
@@ -48,9 +54,17 @@ class RequestBatcher {
   RequestBatcher(const RequestBatcher&) = delete;
   RequestBatcher& operator=(const RequestBatcher&) = delete;
 
-  // Enqueues one query. The future resolves to the ranked list, or to an
-  // error Status for out-of-range users / k == 0 / shutdown.
-  std::future<util::StatusOr<RankedItems>> Submit(uint32_t user, uint32_t k);
+  // Enqueues one query. The future resolves to the served response, or to
+  // an error Status: InvalidArgument/OutOfRange for bad requests,
+  // ResourceExhausted when shed, FailedPrecondition after Stop(),
+  // DeadlineExceeded when the request expired in the queue, Unavailable
+  // when the batcher stopped with the request still queued.
+  std::future<util::StatusOr<ServeResponse>> Submit(uint32_t user,
+                                                    uint32_t k);
+
+  // As above with an explicit absolute deadline (kNoDeadline disables).
+  std::future<util::StatusOr<ServeResponse>> Submit(uint32_t user, uint32_t k,
+                                                    Deadline deadline);
 
   // Stops accepting work, fails queued requests, joins the dispatcher.
   // Idempotent; also runs on destruction.
@@ -60,7 +74,9 @@ class RequestBatcher {
   struct Request {
     uint32_t user;
     uint32_t k;
-    std::promise<util::StatusOr<RankedItems>> promise;
+    Deadline deadline;
+    uint64_t token;
+    std::promise<util::StatusOr<ServeResponse>> promise;
   };
 
   void DispatchLoop();
@@ -68,12 +84,13 @@ class RequestBatcher {
 
   const InferenceEngine* engine_;
   Options options_;
+  HardenedExecutor executor_;
 
   std::mutex mutex_;
   std::condition_variable work_available_;
-  std::condition_variable space_available_;
   std::deque<Request> queue_;
   bool stopping_ = false;
+  std::atomic<uint64_t> next_token_{0};
   std::thread dispatcher_;
 };
 

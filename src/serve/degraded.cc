@@ -1,0 +1,59 @@
+#include "serve/degraded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace hosr::serve {
+
+DegradedRanker::DegradedRanker(const InferenceEngine* engine)
+    : engine_(engine) {
+  HOSR_CHECK(engine != nullptr);
+  const uint32_t m = engine->num_items();
+  std::vector<double> popularity(m, 0.0);
+
+  bool any_interactions = false;
+  for (uint32_t u = 0; u < engine->num_users(); ++u) {
+    for (const uint32_t item : engine->SeenItems(u)) {
+      popularity[item] += 1.0;
+      any_interactions = true;
+    }
+  }
+  if (!any_interactions) {
+    const auto& f = engine->snapshot().factors;
+    if (!f.item_bias.empty()) {
+      for (uint32_t j = 0; j < m; ++j) popularity[j] = f.item_bias[j];
+    } else {
+      const size_t d = f.item_factors.cols();
+      for (uint32_t j = 0; j < m; ++j) {
+        const float* v = f.item_factors.row(j);
+        double norm = 0.0;
+        for (size_t dd = 0; dd < d; ++dd) norm += v[dd] * v[dd];
+        popularity[j] = std::sqrt(norm);
+      }
+    }
+  }
+
+  ranked_items_.resize(m);
+  std::iota(ranked_items_.begin(), ranked_items_.end(), 0);
+  std::stable_sort(ranked_items_.begin(), ranked_items_.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return popularity[a] > popularity[b];
+                   });
+}
+
+RankedItems DegradedRanker::TopK(uint32_t user, uint32_t k) const {
+  const std::vector<uint32_t>& seen = engine_->SeenItems(user);
+  RankedItems result;
+  result.reserve(k);
+  for (const uint32_t item : ranked_items_) {
+    if (result.size() == k) break;
+    if (std::binary_search(seen.begin(), seen.end(), item)) continue;
+    result.push_back(item);
+  }
+  return result;
+}
+
+}  // namespace hosr::serve

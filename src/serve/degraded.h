@@ -1,0 +1,44 @@
+#ifndef HOSR_SERVE_DEGRADED_H_
+#define HOSR_SERVE_DEGRADED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/engine.h"
+
+namespace hosr::serve {
+
+// Fallback ranker for graceful degradation: a precomputed global popularity
+// ranking served when the full engine faults or a request's deadline is
+// nearly spent. The paper's own ablation — most of HOSR's signal lives in
+// the low-order hops — is what makes a popularity answer an acceptable
+// stand-in: it is the zero-hop prior.
+//
+// Popularity source, in preference order:
+//   1. training interaction counts (the engine's seen-item lists),
+//   2. the snapshot's item bias,
+//   3. the item factor's L2 norm (a magnitude proxy).
+// Ties break toward the lower item id, so the ranking is deterministic.
+//
+// TopK() walks the precomputed order skipping the user's seen items: O(k +
+// |seen ∩ head|) with no floating-point work, so it answers in nanoseconds
+// even when the engine cannot.
+class DegradedRanker {
+ public:
+  // `engine` must outlive the ranker.
+  explicit DegradedRanker(const InferenceEngine* engine);
+
+  // Top-k most popular items the user has not seen, best first.
+  RankedItems TopK(uint32_t user, uint32_t k) const;
+
+  // The full precomputed ranking (diagnostics / tests).
+  const std::vector<uint32_t>& ranking() const { return ranked_items_; }
+
+ private:
+  const InferenceEngine* engine_;
+  std::vector<uint32_t> ranked_items_;  // all items, most popular first
+};
+
+}  // namespace hosr::serve
+
+#endif  // HOSR_SERVE_DEGRADED_H_

@@ -3,9 +3,11 @@
 #include <algorithm>
 
 #include "eval/topk.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -42,7 +44,35 @@ std::vector<uint32_t> InferenceEngine::TopKForUser(uint32_t user,
                                                    uint32_t k) const {
   HOSR_CHECK(user < num_users()) << user << " >= " << num_users();
   HOSR_CHECK(k > 0);
+  auto result = TopKImpl(user, k, kNoDeadline, kNoFaultToken);
+  HOSR_CHECK(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+util::StatusOr<RankedItems> InferenceEngine::TryTopKForUser(
+    uint32_t user, uint32_t k, Deadline deadline, uint64_t fault_token) const {
+  if (k == 0) return util::Status::InvalidArgument("k must be >= 1");
+  if (user >= num_users()) {
+    return util::Status::OutOfRange(util::StrFormat(
+        "user %u >= %u", user, num_users()));
+  }
+  return TopKImpl(user, k, deadline, fault_token);
+}
+
+util::StatusOr<RankedItems> InferenceEngine::TopKImpl(
+    uint32_t user, uint32_t k, Deadline deadline, uint64_t fault_token) const {
   const util::WallTimer timer;
+
+  if (fault_token != kNoFaultToken) {
+    // A faulted scoring shard: the armed trigger decides — deterministically
+    // from `fault_token` — whether this call errors or stalls.
+    HOSR_RETURN_IF_ERROR(fault::Inject("engine.score", fault_token));
+  }
+  const bool has_deadline = deadline != kNoDeadline;
+  if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+    HOSR_COUNTER("serve/engine_deadline_exceeded").Increment();
+    return util::Status::DeadlineExceeded("deadline expired before scoring");
+  }
 
   const auto& f = snapshot_.factors;
   const float* u = f.user_factors.row(user);
@@ -51,15 +81,19 @@ std::vector<uint32_t> InferenceEngine::TopKForUser(uint32_t user,
   const std::vector<uint32_t>& excluded =
       seen_.empty() ? kNoExclusions : seen_[user];
 
-  // Blocked GEMV: score item_block rows at a time into a thread-local
-  // scratch, then merge the block into the top-K heap. The dot product
-  // accumulates in item-factor-column order, exactly like tensor::Gemm's
-  // transpose-B path, so scores are bit-identical to ScoreAllItems.
   static thread_local std::vector<float> scratch;
   scratch.resize(options_.item_block);
   eval::TopKAccumulator acc(k);
   auto excluded_it = excluded.begin();
   for (uint32_t j0 = 0; j0 < m; j0 += options_.item_block) {
+    // One deadline read per block bounds overrun to a single block of
+    // scoring while keeping the no-deadline path free of clock reads.
+    if (has_deadline && j0 != 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      HOSR_COUNTER("serve/engine_deadline_exceeded").Increment();
+      return util::Status::DeadlineExceeded(util::StrFormat(
+          "deadline expired mid-scan at item %u of %u", j0, m));
+    }
     const uint32_t j1 = std::min(m, j0 + options_.item_block);
     for (uint32_t j = j0; j < j1; ++j) {
       const float* v = f.item_factors.row(j);
@@ -68,8 +102,6 @@ std::vector<uint32_t> InferenceEngine::TopKForUser(uint32_t user,
       if (!f.item_bias.empty()) score += f.item_bias[j];
       scratch[j - j0] = score;
     }
-    // The user-side and global biases shift every item equally and cannot
-    // change the ranking, so the kernel skips them.
     for (uint32_t j = j0; j < j1; ++j) {
       while (excluded_it != excluded.end() && *excluded_it < j) ++excluded_it;
       if (excluded_it != excluded.end() && *excluded_it == j) continue;
@@ -82,6 +114,12 @@ std::vector<uint32_t> InferenceEngine::TopKForUser(uint32_t user,
   HOSR_HISTOGRAM("serve/query_latency_us")
       .Observe(timer.ElapsedMillis() * 1000.0);
   return result;
+}
+
+const std::vector<uint32_t>& InferenceEngine::SeenItems(uint32_t user) const {
+  HOSR_CHECK(user < num_users());
+  if (seen_.empty()) return kNoExclusions;
+  return seen_[user];
 }
 
 std::vector<std::vector<uint32_t>> InferenceEngine::TopKBatch(

@@ -1,6 +1,7 @@
 #ifndef HOSR_SERVE_ENGINE_H_
 #define HOSR_SERVE_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -8,6 +9,16 @@
 #include "serve/snapshot.h"
 
 namespace hosr::serve {
+
+using RankedItems = std::vector<uint32_t>;
+
+// Absolute per-request deadline. kNoDeadline disables enforcement.
+using Deadline = std::chrono::steady_clock::time_point;
+inline constexpr Deadline kNoDeadline = Deadline::max();
+
+// Fault-injection token sentinel: skip the engine.score injection point
+// (used by the unhardened legacy entry points).
+inline constexpr uint64_t kNoFaultToken = ~0ull - 1;
 
 struct EngineOptions {
   // Items are scored in blocks of this many rows so the per-query score
@@ -45,15 +56,39 @@ class InferenceEngine {
   // the candidate count returns every candidate ranked.
   std::vector<uint32_t> TopKForUser(uint32_t user, uint32_t k) const;
 
+  // Status-returning, deadline-aware variant — the serving path. Invalid
+  // users / k return InvalidArgument/OutOfRange instead of aborting; an
+  // expired `deadline` fails fast with DeadlineExceeded (also checked
+  // between item blocks, so a query never overruns its deadline by more
+  // than one block of scoring); and the `engine.score` fault-injection
+  // point runs with `fault_token` so injected failures are a deterministic
+  // function of the request (docs/ROBUSTNESS.md).
+  util::StatusOr<RankedItems> TryTopKForUser(
+      uint32_t user, uint32_t k, Deadline deadline = kNoDeadline,
+      uint64_t fault_token = kNoFaultToken) const;
+
   // One ranked list per user, sharded across the global thread pool.
   std::vector<std::vector<uint32_t>> TopKBatch(
       const std::vector<uint32_t>& users, uint32_t k) const;
+
+  // The per-user exclusion list (empty when the engine was built without
+  // seen-item filtering). Sorted ascending; used by DegradedRanker.
+  const std::vector<uint32_t>& SeenItems(uint32_t user) const;
 
   // Full unfiltered score vector for one user — the reference the blocked
   // kernel is tested against, and a debugging aid.
   std::vector<float> ScoreAll(uint32_t user) const;
 
  private:
+  // The one scoring kernel, shared by TopKForUser and TryTopKForUser:
+  // blocked GEMV + TopKAccumulator, plus deadline checks, the engine.score
+  // fault point, and Status plumbing. With kNoDeadline/kNoFaultToken both
+  // hardening branches are single never-taken compares, so the legacy path
+  // pays only the StatusOr wrapper per query.
+  util::StatusOr<RankedItems> TopKImpl(uint32_t user, uint32_t k,
+                                       Deadline deadline,
+                                       uint64_t fault_token) const;
+
   ModelSnapshot snapshot_;
   EngineOptions options_;
   // Per-user sorted exclusion lists; empty when no `seen` was given.

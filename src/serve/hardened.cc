@@ -1,0 +1,100 @@
+#include "serve/hardened.h"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace hosr::serve {
+
+namespace {
+
+// Attempt tokens must be distinct per (request, attempt) so each attempt's
+// fault draw is independent; 16 attempts per request is far above any sane
+// retry cap.
+constexpr uint64_t kMaxAttemptsPerRequest = 16;
+
+uint64_t MixSeed(uint64_t seed, uint64_t token) {
+  uint64_t x = seed ^ (token * 0x9e3779b97f4a7c15ULL);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HardenedExecutor::HardenedExecutor(const InferenceEngine* engine,
+                                   HardenedOptions options)
+    : engine_(engine), options_(options) {
+  HOSR_CHECK(engine != nullptr);
+  HOSR_CHECK(options_.retry.max_attempts >= 1);
+  HOSR_CHECK(static_cast<uint64_t>(options_.retry.max_attempts) <
+             kMaxAttemptsPerRequest);
+}
+
+util::StatusOr<ServeResponse> HardenedExecutor::Execute(uint32_t user,
+                                                        uint32_t k,
+                                                        uint64_t token) const {
+  const Deadline wall_deadline =
+      options_.use_wall_clock && options_.deadline_ms > 0.0
+          ? std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<Deadline::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        options_.deadline_ms))
+          : kNoDeadline;
+
+  RetryPolicy::Options retry_options = options_.retry;
+  if (options_.deadline_ms > 0.0) {
+    retry_options.budget_ms = options_.deadline_ms;
+  }
+  RetryPolicy retry(retry_options, MixSeed(options_.seed, token));
+
+  util::Status last_status = util::Status::Ok();
+  bool engine_deadline_spent = false;
+  for (int attempt = 0;; ++attempt) {
+    auto result = engine_->TryTopKForUser(
+        user, k, wall_deadline,
+        token * kMaxAttemptsPerRequest + static_cast<uint64_t>(attempt));
+    if (result.ok()) {
+      return ServeResponse{std::move(result).value(), /*degraded=*/false};
+    }
+    last_status = result.status();
+    if (last_status.code() == util::StatusCode::kDeadlineExceeded) {
+      // The engine ran out of deadline mid-scan; no point retrying the
+      // full scoring, but the cheap fallback can still answer.
+      engine_deadline_spent = true;
+      break;
+    }
+    if (!RetryPolicy::ShouldRetry(last_status)) {
+      return last_status;  // hard error: bad request, corrupt state, ...
+    }
+    const double delay_ms = retry.NextDelayMs();
+    if (delay_ms < 0.0) break;  // schedule exhausted
+    HOSR_COUNTER("serve/retries").Increment();
+    if (delay_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+  }
+
+  // Attempts (or deadline budget) exhausted. A blown budget means the
+  // client's deadline has passed — answering late, even cheaply, is
+  // useless. Otherwise degrade if we can.
+  if (retry.BudgetBlown()) {
+    HOSR_COUNTER("serve/deadline_exceeded").Increment();
+    return util::Status::DeadlineExceeded(
+        "retry budget exhausted: " + last_status.ToString());
+  }
+  if (options_.degraded != nullptr) {
+    HOSR_COUNTER("serve/degraded").Increment();
+    return ServeResponse{options_.degraded->TopK(user, k),
+                         /*degraded=*/true};
+  }
+  if (engine_deadline_spent) {
+    HOSR_COUNTER("serve/deadline_exceeded").Increment();
+  }
+  return last_status;
+}
+
+}  // namespace hosr::serve

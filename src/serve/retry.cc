@@ -1,0 +1,34 @@
+#include "serve/retry.h"
+
+#include <algorithm>
+
+namespace hosr::serve {
+
+RetryPolicy::RetryPolicy(Options options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+  if (options_.initial_backoff_ms < 0.0) options_.initial_backoff_ms = 0.0;
+  options_.max_backoff_ms =
+      std::max(options_.max_backoff_ms, options_.initial_backoff_ms);
+}
+
+double RetryPolicy::NextDelayMs() {
+  if (attempts_ >= options_.max_attempts) return -1.0;
+  // Decorrelated jitter (AWS architecture blog): sleep = U(base, prev * 3),
+  // clamped to [base, cap]. Spreads retry storms without synchronizing
+  // clients the way plain exponential backoff does.
+  const double base = options_.initial_backoff_ms;
+  const double upper = std::clamp(previous_delay_ms_ * 3.0, base,
+                                  options_.max_backoff_ms);
+  const double delay = base + rng_.UniformDouble() * (upper - base);
+  if (options_.budget_ms > 0.0 && spent_ms_ + delay > options_.budget_ms) {
+    budget_blown_ = true;
+    return -1.0;
+  }
+  ++attempts_;
+  spent_ms_ += delay;
+  previous_delay_ms_ = delay;
+  return delay;
+}
+
+}  // namespace hosr::serve

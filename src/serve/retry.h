@@ -1,0 +1,61 @@
+#ifndef HOSR_SERVE_RETRY_H_
+#define HOSR_SERVE_RETRY_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace hosr::serve {
+
+// Retry schedule for transient errors: exponential backoff with
+// decorrelated jitter (each delay is drawn uniformly from
+// [initial_backoff_ms, min(max_backoff_ms, 3 * previous_delay)]), capped by
+// both an attempt count and a total-delay budget. Delays are drawn from a
+// caller-seeded stream, so a request's whole retry schedule is a pure
+// function of its token — deterministic under fault injection regardless
+// of thread interleaving.
+struct RetryPolicy {
+  struct Options {
+    // Total tries including the first; 1 disables retries.
+    int max_attempts = 2;
+    double initial_backoff_ms = 1.0;
+    double max_backoff_ms = 4.0;
+    // Cap on the cumulative planned backoff. <= 0 means "no budget cap";
+    // callers with a deadline pass their remaining milliseconds.
+    double budget_ms = 0.0;
+  };
+
+  explicit RetryPolicy(Options options, uint64_t seed);
+
+  // True when `status` is worth another attempt at all (transient per
+  // util::Status::IsTransient) — the attempt/budget caps are separate.
+  static bool ShouldRetry(const util::Status& status) {
+    return status.IsTransient();
+  }
+
+  // Plans the next backoff delay and charges it against the budget.
+  // Returns a negative value when the schedule is exhausted — either
+  // `max_attempts` tries have been consumed or the budget cannot cover the
+  // planned delay (the caller should stop retrying; BudgetBlown()
+  // distinguishes the two).
+  double NextDelayMs();
+
+  int attempts() const { return attempts_; }
+  double spent_ms() const { return spent_ms_; }
+  // True when the schedule stopped because the delay budget (deadline) was
+  // exhausted rather than the attempt cap.
+  bool BudgetBlown() const { return budget_blown_; }
+
+ private:
+  Options options_;
+  util::Rng rng_;
+  int attempts_ = 1;  // the first attempt is implicit
+  double spent_ms_ = 0.0;
+  double previous_delay_ms_ = 0.0;
+  bool budget_blown_ = false;
+};
+
+}  // namespace hosr::serve
+
+#endif  // HOSR_SERVE_RETRY_H_

@@ -1,10 +1,11 @@
 #include "serve/snapshot.h"
 
 #include <cstring>
-#include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "tensor/serialize.h"
+#include "util/fileio.h"
 #include "util/string_util.h"
 
 namespace hosr::serve {
@@ -176,14 +177,17 @@ util::StatusOr<ModelSnapshot> ReadSnapshot(std::istream* in) {
 
 util::Status SaveSnapshot(const ModelSnapshot& snapshot,
                           const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return util::Status::IoError("cannot open for writing: " + path);
-  return WriteSnapshot(snapshot, &out);
+  std::ostringstream body;
+  HOSR_RETURN_IF_ERROR(WriteSnapshot(snapshot, &body));
+  // Atomic temp-file + rename with a CRC-32 footer: a crash mid-export
+  // never leaves a torn snapshot at `path`, and any flipped bit surfaces
+  // as DataLoss on load instead of silently skewed scores.
+  return util::WriteFileAtomicWithCrc(path, body.str());
 }
 
 util::StatusOr<ModelSnapshot> LoadSnapshot(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return util::Status::IoError("cannot open for reading: " + path);
+  HOSR_ASSIGN_OR_RETURN(std::string body, util::ReadFileVerifyCrc(path));
+  std::istringstream in(body);
   return ReadSnapshot(&in);
 }
 

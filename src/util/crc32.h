@@ -1,0 +1,23 @@
+#ifndef HOSR_UTIL_CRC32_H_
+#define HOSR_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hosr::util {
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected, init/final 0xFFFFFFFF)
+// — the zlib/gzip checksum. Guards on-disk artifacts (checkpoints, snapshots)
+// against torn writes and bit rot; not a cryptographic integrity check.
+uint32_t Crc32(const void* data, size_t size);
+inline uint32_t Crc32(std::string_view bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+// Incremental form: pass the previous return value as `crc` (start with 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+}  // namespace hosr::util
+
+#endif  // HOSR_UTIL_CRC32_H_

@@ -1,0 +1,120 @@
+#include "util/fileio.h"
+
+#include <cstdio>
+#include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "util/crc32.h"
+
+namespace hosr::util {
+
+namespace {
+
+int ProcessId() {
+#ifdef _WIN32
+  return _getpid();
+#else
+  return static_cast<int>(getpid());
+#endif
+}
+
+}  // namespace
+
+AtomicWriteFile::AtomicWriteFile(std::string path, std::ios::openmode mode)
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp." + std::to_string(ProcessId())) {
+  out_.open(tmp_path_, mode | std::ios::trunc);
+  if (!out_) {
+    status_ = Status::IoError("cannot open for writing: " + tmp_path_);
+    done_ = true;
+  }
+}
+
+AtomicWriteFile::~AtomicWriteFile() { Abort(); }
+
+Status AtomicWriteFile::Commit() {
+  if (done_) return status_;
+  done_ = true;
+  out_.flush();
+  if (!out_) {
+    status_ = Status::IoError("write failed: " + tmp_path_);
+  }
+  out_.close();
+  if (!status_.ok()) {
+    std::remove(tmp_path_.c_str());
+    return status_;
+  }
+  // rename(2) replaces the target atomically on POSIX filesystems.
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    status_ = Status::IoError("cannot rename " + tmp_path_ + " -> " + path_);
+  }
+  return status_;
+}
+
+void AtomicWriteFile::Abort() {
+  if (done_) return;
+  done_ = true;
+  out_.close();
+  std::remove(tmp_path_.c_str());
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  AtomicWriteFile file(path);
+  HOSR_RETURN_IF_ERROR(file.status());
+  file.stream().write(contents.data(),
+                      static_cast<std::streamsize>(contents.size()));
+  return file.Commit();
+}
+
+Status WriteFileAtomicWithCrc(const std::string& path,
+                              std::string_view body) {
+  const uint32_t crc = Crc32(body);
+  unsigned char footer[4] = {
+      static_cast<unsigned char>(crc & 0xFFu),
+      static_cast<unsigned char>((crc >> 8) & 0xFFu),
+      static_cast<unsigned char>((crc >> 16) & 0xFFu),
+      static_cast<unsigned char>((crc >> 24) & 0xFFu),
+  };
+  AtomicWriteFile file(path);
+  HOSR_RETURN_IF_ERROR(file.status());
+  file.stream().write(body.data(), static_cast<std::streamsize>(body.size()));
+  file.stream().write(reinterpret_cast<const char*>(footer), 4);
+  return file.Commit();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return std::move(buffer).str();
+}
+
+StatusOr<std::string> ReadFileVerifyCrc(const std::string& path) {
+  HOSR_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  if (bytes.size() < 4) {
+    return Status::DataLoss("file too short for CRC footer: " + path);
+  }
+  const auto* footer =
+      reinterpret_cast<const unsigned char*>(bytes.data() + bytes.size() - 4);
+  const uint32_t stored = static_cast<uint32_t>(footer[0]) |
+                          (static_cast<uint32_t>(footer[1]) << 8) |
+                          (static_cast<uint32_t>(footer[2]) << 16) |
+                          (static_cast<uint32_t>(footer[3]) << 24);
+  bytes.resize(bytes.size() - 4);
+  const uint32_t actual = Crc32(bytes);
+  if (stored != actual) {
+    return Status::DataLoss("CRC mismatch in " + path +
+                            " (file corrupt or torn)");
+  }
+  return bytes;
+}
+
+}  // namespace hosr::util

@@ -30,6 +30,22 @@ Rng::Rng(uint64_t seed) {
   if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
 }
 
+RngState Rng::GetState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = state_[i];
+  state.has_spare_gaussian = has_spare_gaussian_;
+  state.spare_gaussian = spare_gaussian_;
+  return state;
+}
+
+void Rng::SetState(const RngState& state) {
+  HOSR_CHECK((state.s[0] | state.s[1] | state.s[2] | state.s[3]) != 0)
+      << "all-zero xoshiro state is invalid";
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_spare_gaussian_ = state.has_spare_gaussian;
+  spare_gaussian_ = state.spare_gaussian;
+}
+
 uint64_t Rng::NextUint64() {
   const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;

@@ -8,6 +8,20 @@
 
 namespace hosr::util {
 
+// Complete serializable state of an Rng: the xoshiro words plus the cached
+// Box-Muller spare, so a restored stream continues bit-identically.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_spare_gaussian = false;
+  float spare_gaussian = 0.0f;
+};
+
+inline bool operator==(const RngState& a, const RngState& b) {
+  return a.s[0] == b.s[0] && a.s[1] == b.s[1] && a.s[2] == b.s[2] &&
+         a.s[3] == b.s[3] && a.has_spare_gaussian == b.has_spare_gaussian &&
+         a.spare_gaussian == b.spare_gaussian;
+}
+
 // Deterministic, fast PRNG (xoshiro256**) with convenience distributions.
 // Every stochastic component in the library takes one of these (or a seed)
 // explicitly so experiments are reproducible.
@@ -58,6 +72,11 @@ class Rng {
   // Forks an independent stream; deterministic function of this stream's
   // current state and `salt`.
   Rng Fork(uint64_t salt);
+
+  // Captures / restores the full stream state (checkpoint support). A
+  // restored Rng produces the exact sequence the captured one would have.
+  RngState GetState() const;
+  void SetState(const RngState& state);
 
  private:
   uint64_t state_[4];

@@ -19,6 +19,15 @@ enum class StatusCode {
   kIoError = 5,
   kInternal = 6,
   kUnimplemented = 7,
+  // Transient failure: the operation may succeed if retried (a faulted
+  // scoring shard, a briefly unreachable backend).
+  kUnavailable = 8,
+  // The request's deadline expired before (or while) the work completed.
+  kDeadlineExceeded = 9,
+  // Admission control rejected the request (queue full, quota spent).
+  kResourceExhausted = 10,
+  // Stored data failed integrity checks (CRC mismatch, torn write).
+  kDataLoss = 11,
 };
 
 // Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -59,10 +68,31 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  // True for failures that a retry (with backoff) has a reasonable chance
+  // of curing: Unavailable and ResourceExhausted. Deterministic failures
+  // (bad input, missing data, corruption, expired deadlines) are not
+  // transient — retrying them wastes the caller's latency budget.
+  bool IsTransient() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kResourceExhausted;
+  }
 
   // "OK" or "<Code>: <message>".
   std::string ToString() const;

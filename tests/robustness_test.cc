@@ -1,0 +1,635 @@
+// Robustness suite (docs/ROBUSTNESS.md): crash-safe file primitives,
+// retry/degraded/deadline serving behavior under deterministic fault
+// injection, bit-flip corruption sweeps over every binary artifact, and the
+// kill-and-resume contract — training restored from a checkpoint finishes
+// bit-identical to a run that never died.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autograd/checkpoint.h"
+#include "core/model_zoo.h"
+#include "data/synthetic.h"
+#include "fault/fault.h"
+#include "models/trainer.h"
+#include "optim/optimizer.h"
+#include "serve/batcher.h"
+#include "serve/degraded.h"
+#include "serve/engine.h"
+#include "serve/hardened.h"
+#include "serve/retry.h"
+#include "serve/snapshot.h"
+#include "util/fileio.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace hosr {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string ReadRaw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void WriteRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+const data::Dataset& TestDataset() {
+  static const data::Dataset* dataset = [] {
+    data::SyntheticConfig config;
+    config.name = "robustness-test";
+    config.num_users = 60;
+    config.num_items = 80;
+    config.avg_interactions_per_user = 8;
+    config.avg_relations_per_user = 5;
+    config.seed = 23;
+    auto result = data::GenerateSynthetic(config);
+    HOSR_CHECK(result.ok());
+    return new data::Dataset(std::move(result).value());
+  }();
+  return *dataset;
+}
+
+std::unique_ptr<models::RankingModel> MakeTestModel(const std::string& name) {
+  core::ZooConfig zoo;
+  zoo.embedding_dim = 6;
+  zoo.hosr_graph_dropout = 0.0f;
+  auto model = core::MakeModel(name, TestDataset(), zoo);
+  HOSR_CHECK(model.ok()) << model.status();
+  return std::move(model).value();
+}
+
+serve::InferenceEngine MakeTestEngine() {
+  auto model = MakeTestModel("BPR");
+  auto snapshot = serve::BuildSnapshot(*model);
+  HOSR_CHECK(snapshot.ok());
+  return serve::InferenceEngine(std::move(snapshot).value(),
+                                &TestDataset().interactions);
+}
+
+// Fault suites leave the global registry disarmed for the other tests
+// sharing the binary.
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::FaultRegistry::Global().Disarm(); }
+  void TearDown() override { fault::FaultRegistry::Global().Disarm(); }
+};
+
+// --- crash-safe file primitives ----------------------------------------------
+
+TEST(AtomicWriteFileTest, CommitPublishesAndDestructionWithoutCommitDoesNot) {
+  const std::string path = TempPath("hosr_atomic_basic.txt");
+  std::remove(path.c_str());
+  {
+    util::AtomicWriteFile file(path);
+    ASSERT_TRUE(file.status().ok());
+    file.stream() << "payload";
+    // Not yet committed: the target must not exist, only the temp file.
+    EXPECT_FALSE(std::filesystem::exists(path));
+    ASSERT_TRUE(file.Commit().ok());
+  }
+  EXPECT_EQ(ReadRaw(path), "payload");
+
+  {
+    util::AtomicWriteFile file(path);
+    file.stream() << "torn write that must never land";
+  }  // destroyed without Commit
+  EXPECT_EQ(ReadRaw(path), "payload") << "abandoned write clobbered target";
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteFileTest, AbortRemovesTempAndKeepsTarget) {
+  const std::string path = TempPath("hosr_atomic_abort.txt");
+  ASSERT_TRUE(util::WriteFileAtomic(path, "original").ok());
+  util::AtomicWriteFile file(path);
+  file.stream() << "doomed";
+  file.Abort();
+  EXPECT_EQ(ReadRaw(path), "original");
+  // The temp directory holds no leftover .tmp files for this target.
+  const auto dir = std::filesystem::path(path).parent_path();
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().string().find(path + ".tmp."), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CrcFileTest, RoundTripsAndRejectsEverySingleBitFlip) {
+  const std::string path = TempPath("hosr_crc_roundtrip.bin");
+  const std::string body = "binary\x00payload with \xff bytes";
+  ASSERT_TRUE(util::WriteFileAtomicWithCrc(path, body).ok());
+  auto loaded = util::ReadFileVerifyCrc(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, body);
+
+  // Exhaustive single-bit-flip sweep over body AND footer: every flip must
+  // surface as DataLoss, never load as garbage.
+  const std::string bytes = ReadRaw(path);
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = bytes;
+      corrupted[byte] ^= static_cast<char>(1 << bit);
+      WriteRaw(path, corrupted);
+      const auto result = util::ReadFileVerifyCrc(path);
+      ASSERT_FALSE(result.ok()) << "byte " << byte << " bit " << bit;
+      EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CrcFileTest, TruncationAndMissingFile) {
+  const std::string path = TempPath("hosr_crc_trunc.bin");
+  ASSERT_TRUE(util::WriteFileAtomicWithCrc(path, "0123456789").ok());
+  const std::string bytes = ReadRaw(path);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteRaw(path, bytes.substr(0, len));
+    const auto result = util::ReadFileVerifyCrc(path);
+    ASSERT_FALSE(result.ok()) << "prefix " << len;
+    EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
+  }
+  std::remove(path.c_str());
+  EXPECT_EQ(util::ReadFileVerifyCrc(path).status().code(),
+            util::StatusCode::kIoError);
+}
+
+// --- retry policy ------------------------------------------------------------
+
+TEST(RetryPolicyTest, EveryCanonicalCodeClassifies) {
+  using util::Status;
+  // Transient — worth retrying.
+  EXPECT_TRUE(serve::RetryPolicy::ShouldRetry(Status::Unavailable("x")));
+  EXPECT_TRUE(serve::RetryPolicy::ShouldRetry(Status::ResourceExhausted("x")));
+  // Deterministic failures — retrying repeats the failure.
+  EXPECT_FALSE(serve::RetryPolicy::ShouldRetry(Status::Ok()));
+  EXPECT_FALSE(serve::RetryPolicy::ShouldRetry(Status::InvalidArgument("x")));
+  EXPECT_FALSE(serve::RetryPolicy::ShouldRetry(Status::NotFound("x")));
+  EXPECT_FALSE(serve::RetryPolicy::ShouldRetry(Status::OutOfRange("x")));
+  EXPECT_FALSE(
+      serve::RetryPolicy::ShouldRetry(Status::FailedPrecondition("x")));
+  EXPECT_FALSE(serve::RetryPolicy::ShouldRetry(Status::IoError("x")));
+  EXPECT_FALSE(serve::RetryPolicy::ShouldRetry(Status::Internal("x")));
+  EXPECT_FALSE(serve::RetryPolicy::ShouldRetry(Status::Unimplemented("x")));
+  EXPECT_FALSE(serve::RetryPolicy::ShouldRetry(Status::DeadlineExceeded("x")));
+  EXPECT_FALSE(serve::RetryPolicy::ShouldRetry(Status::DataLoss("x")));
+}
+
+TEST(RetryPolicyTest, FirstDelayIsBaseThenJitteredWithinBounds) {
+  serve::RetryPolicy::Options options;
+  options.max_attempts = 6;
+  options.initial_backoff_ms = 2.0;
+  options.max_backoff_ms = 10.0;
+  serve::RetryPolicy retry(options, /*seed=*/3);
+  // Decorrelated jitter with no previous delay: exactly the base.
+  EXPECT_DOUBLE_EQ(retry.NextDelayMs(), 2.0);
+  for (int i = 0; i < 4; ++i) {
+    const double delay = retry.NextDelayMs();
+    EXPECT_GE(delay, 2.0);
+    EXPECT_LE(delay, 10.0);
+  }
+  // Attempt cap reached.
+  EXPECT_LT(retry.NextDelayMs(), 0.0);
+  EXPECT_FALSE(retry.BudgetBlown());
+}
+
+TEST(RetryPolicyTest, BudgetStopsScheduleAndFlagsBlown) {
+  serve::RetryPolicy::Options options;
+  options.max_attempts = 100;
+  options.initial_backoff_ms = 2.0;
+  options.max_backoff_ms = 2.0;  // deterministic 2ms per retry
+  options.budget_ms = 5.0;
+  serve::RetryPolicy retry(options, /*seed=*/1);
+  EXPECT_DOUBLE_EQ(retry.NextDelayMs(), 2.0);  // spent 2
+  EXPECT_DOUBLE_EQ(retry.NextDelayMs(), 2.0);  // spent 4
+  EXPECT_LT(retry.NextDelayMs(), 0.0);         // 6 > 5: refused
+  EXPECT_TRUE(retry.BudgetBlown());
+  EXPECT_DOUBLE_EQ(retry.spent_ms(), 4.0);
+}
+
+TEST(RetryPolicyTest, ScheduleIsAPureFunctionOfSeed) {
+  serve::RetryPolicy::Options options;
+  options.max_attempts = 8;
+  auto schedule = [&](uint64_t seed) {
+    serve::RetryPolicy retry(options, seed);
+    std::vector<double> delays;
+    for (double d = retry.NextDelayMs(); d >= 0.0; d = retry.NextDelayMs()) {
+      delays.push_back(d);
+    }
+    return delays;
+  };
+  EXPECT_EQ(schedule(5), schedule(5));
+  EXPECT_NE(schedule(5), schedule(6));
+}
+
+// --- degraded ranker ---------------------------------------------------------
+
+TEST(DegradedRankerTest, ServesPopularityOrderExcludingSeen) {
+  const serve::InferenceEngine engine = MakeTestEngine();
+  const serve::DegradedRanker degraded(&engine);
+  for (uint32_t u = 0; u < engine.num_users(); ++u) {
+    const auto ranked = degraded.TopK(u, 15);
+    EXPECT_EQ(ranked.size(), 15u);
+    for (const uint32_t item : ranked) {
+      EXPECT_FALSE(TestDataset().interactions.Contains(u, item))
+          << "user " << u;
+    }
+  }
+  // Deterministic: two rankers over the same engine agree exactly.
+  const serve::DegradedRanker again(&engine);
+  EXPECT_EQ(degraded.TopK(7, 20), again.TopK(7, 20));
+}
+
+// --- hardened executor -------------------------------------------------------
+
+TEST_F(RobustnessTest, CertainFaultWithFallbackDegradesEveryRequest) {
+  ASSERT_TRUE(
+      fault::FaultRegistry::Global().Configure("engine.score:p=1", 1).ok());
+  const serve::InferenceEngine engine = MakeTestEngine();
+  const serve::DegradedRanker degraded(&engine);
+  serve::HardenedOptions options;
+  options.degraded = &degraded;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_ms = 0.0;
+  options.retry.max_backoff_ms = 0.0;
+  const serve::HardenedExecutor executor(&engine, options);
+
+  const auto response = executor.Execute(3, 10, /*token=*/0);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->degraded);
+  EXPECT_EQ(response->items, degraded.TopK(3, 10));
+}
+
+TEST_F(RobustnessTest, CertainFaultWithoutFallbackPropagates) {
+  ASSERT_TRUE(
+      fault::FaultRegistry::Global().Configure("engine.score:p=1", 1).ok());
+  const serve::InferenceEngine engine = MakeTestEngine();
+  serve::HardenedOptions options;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_ms = 0.0;
+  options.retry.max_backoff_ms = 0.0;
+  const serve::HardenedExecutor executor(&engine, options);
+  const auto response = executor.Execute(3, 10, /*token=*/0);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), util::StatusCode::kUnavailable);
+}
+
+TEST_F(RobustnessTest, NonTransientFaultIsNeverRetried) {
+  ASSERT_TRUE(fault::FaultRegistry::Global()
+                  .Configure("engine.score:p=1:code=internal", 1)
+                  .ok());
+  const serve::InferenceEngine engine = MakeTestEngine();
+  const serve::DegradedRanker degraded(&engine);
+  serve::HardenedOptions options;
+  options.degraded = &degraded;  // fallback must NOT mask hard errors
+  options.retry.max_attempts = 5;
+  const serve::HardenedExecutor executor(&engine, options);
+  const auto response = executor.Execute(3, 10, /*token=*/0);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), util::StatusCode::kInternal);
+  EXPECT_EQ(fault::FaultRegistry::Global().StatsFor("engine.score").hits, 1u);
+}
+
+TEST_F(RobustnessTest, BlownBudgetIsDeadlineExceededNotDegraded) {
+  ASSERT_TRUE(
+      fault::FaultRegistry::Global().Configure("engine.score:p=1", 1).ok());
+  const serve::InferenceEngine engine = MakeTestEngine();
+  const serve::DegradedRanker degraded(&engine);
+  serve::HardenedOptions options;
+  options.degraded = &degraded;
+  options.retry.max_attempts = 10;
+  options.retry.initial_backoff_ms = 2.0;
+  options.retry.max_backoff_ms = 2.0;
+  options.deadline_ms = 3.0;  // covers one 2ms backoff, not two
+  const serve::HardenedExecutor executor(&engine, options);
+  const auto response = executor.Execute(3, 10, /*token=*/0);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), util::StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(RobustnessTest, OutcomesAreBitReproducibleAcrossRuns) {
+  const serve::InferenceEngine engine = MakeTestEngine();
+  const serve::DegradedRanker degraded(&engine);
+  auto outcomes = [&] {
+    fault::FaultRegistry::Global().Disarm();
+    EXPECT_TRUE(fault::FaultRegistry::Global()
+                    .Configure("engine.score:p=0.2", 99)
+                    .ok());
+    serve::HardenedOptions options;
+    options.degraded = &degraded;
+    options.retry.max_attempts = 3;
+    options.retry.initial_backoff_ms = 0.01;
+    options.retry.max_backoff_ms = 0.04;
+    options.deadline_ms = 0.05;
+    const serve::HardenedExecutor executor(&engine, options);
+    // Encode each request's outcome: 0 ok, 1 degraded, 2+code errors.
+    std::vector<int> encoded;
+    for (uint64_t token = 0; token < 400; ++token) {
+      const auto r =
+          executor.Execute(static_cast<uint32_t>(token % engine.num_users()),
+                           10, token);
+      encoded.push_back(r.ok() ? (r->degraded ? 1 : 0)
+                               : 2 + static_cast<int>(r.status().code()));
+    }
+    return encoded;
+  };
+  const auto first = outcomes();
+  EXPECT_EQ(first, outcomes());
+  // The mix is non-trivial: some full-fidelity, some degraded.
+  EXPECT_GT(std::count(first.begin(), first.end(), 0), 0);
+  EXPECT_GT(std::count(first.begin(), first.end(), 1), 0);
+}
+
+// --- batcher hardening -------------------------------------------------------
+
+TEST(BatcherRobustnessTest, FullQueueShedsImmediately) {
+  const serve::InferenceEngine engine = MakeTestEngine();
+  serve::RequestBatcher::Options options;
+  options.max_batch_size = 64;       // dispatcher lingers for a full batch
+  options.queue_capacity = 2;
+  options.max_linger_us = 200000;    // 200ms: submits below land mid-linger
+  serve::RequestBatcher batcher(&engine, options);
+
+  std::vector<std::future<util::StatusOr<serve::ServeResponse>>> futures;
+  for (uint32_t i = 0; i < 6; ++i) futures.push_back(batcher.Submit(i, 5));
+  size_t shed = 0;
+  for (auto& f : futures) {
+    const auto result = f.get();
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(),
+                util::StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  // Capacity 2 with a lingering dispatcher: at least 6 - 2 - 1 sheds (one
+  // request may have been popped into the forming batch).
+  EXPECT_GE(shed, 3u);
+}
+
+TEST(BatcherRobustnessTest, StopDrainsQueuedRequestsWithUnavailable) {
+  const serve::InferenceEngine engine = MakeTestEngine();
+  serve::RequestBatcher::Options options;
+  options.max_batch_size = 64;
+  options.max_linger_us = 10000000;  // 10s: nothing dispatches before Stop
+  serve::RequestBatcher batcher(&engine, options);
+  std::vector<std::future<util::StatusOr<serve::ServeResponse>>> futures;
+  for (uint32_t i = 0; i < 4; ++i) futures.push_back(batcher.Submit(i, 5));
+  batcher.Stop();
+  for (auto& f : futures) {
+    // The future MUST resolve (no hang); queued requests get Unavailable.
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(5)),
+              std::future_status::ready);
+    const auto result = f.get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kUnavailable);
+  }
+  // And post-Stop submissions fail fast with FailedPrecondition.
+  const auto late = batcher.Submit(0, 5).get();
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RobustnessTest, BatcherRoutesFaultsThroughDegradedFallback) {
+  ASSERT_TRUE(
+      fault::FaultRegistry::Global().Configure("engine.score:p=1", 1).ok());
+  const serve::InferenceEngine engine = MakeTestEngine();
+  const serve::DegradedRanker degraded(&engine);
+  serve::RequestBatcher::Options options;
+  options.hardened.degraded = &degraded;
+  options.hardened.retry.max_attempts = 2;
+  options.hardened.retry.initial_backoff_ms = 0.0;
+  options.hardened.retry.max_backoff_ms = 0.0;
+  serve::RequestBatcher batcher(&engine, options);
+  for (uint32_t u = 0; u < 8; ++u) {
+    const auto result = batcher.Submit(u, 10).get();
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->degraded);
+    EXPECT_EQ(result->items, degraded.TopK(u, 10));
+  }
+}
+
+// --- optimizer state round-trip ----------------------------------------------
+
+void FillGrads(autograd::ParamStore* store, util::Rng* rng) {
+  for (size_t i = 0; i < store->size(); ++i) {
+    autograd::Param* p = store->at(i);
+    for (size_t j = 0; j < p->grad.size(); ++j) {
+      p->grad.data()[j] = rng->Gaussian();
+    }
+  }
+}
+
+class OptimizerStateTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OptimizerStateTest, SaveLoadContinuesBitIdentically) {
+  auto make_store = [] {
+    auto store = std::make_unique<autograd::ParamStore>();
+    util::Rng init(4);
+    store->CreateGaussian("emb", 8, 4, 0.1f, &init);
+    store->CreateGaussian("bias", 1, 8, 0.1f, &init);
+    return store;
+  };
+  auto reference_store = make_store();
+  auto resumed_store = make_store();
+  auto reference_opt = optim::MakeOptimizer(GetParam(), 0.05f, 0.001f);
+  auto warm_opt = optim::MakeOptimizer(GetParam(), 0.05f, 0.001f);
+
+  // Identical first phase on both optimizers.
+  util::Rng grads_a(9), grads_b(9);
+  for (int step = 0; step < 3; ++step) {
+    FillGrads(reference_store.get(), &grads_a);
+    reference_opt->Step(reference_store.get());
+    FillGrads(resumed_store.get(), &grads_b);
+    warm_opt->Step(resumed_store.get());
+  }
+
+  // Serialize the warm optimizer, load into a FRESH one.
+  std::ostringstream saved;
+  ASSERT_TRUE(warm_opt->SaveState(&saved).ok());
+  auto resumed_opt = optim::MakeOptimizer(GetParam(), 0.05f, 0.001f);
+  std::istringstream loaded(saved.str());
+  ASSERT_TRUE(resumed_opt->LoadState(&loaded).ok());
+
+  // Second phase: reference continues, resumed picks up from the state.
+  for (int step = 0; step < 3; ++step) {
+    FillGrads(reference_store.get(), &grads_a);
+    reference_opt->Step(reference_store.get());
+    FillGrads(resumed_store.get(), &grads_b);
+    resumed_opt->Step(resumed_store.get());
+  }
+  for (size_t i = 0; i < reference_store->size(); ++i) {
+    const auto* a = reference_store->at(i);
+    const auto* b = resumed_store->at(i);
+    ASSERT_EQ(0, std::memcmp(a->value.data(), b->value.data(),
+                             a->value.size() * sizeof(float)))
+        << GetParam() << " diverged on " << a->name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Optimizers, OptimizerStateTest,
+                         ::testing::Values("sgd", "rmsprop", "adam",
+                                           "adagrad"));
+
+// --- trainer kill-and-resume -------------------------------------------------
+
+models::TrainConfig ResumeTrainConfig() {
+  models::TrainConfig config;
+  config.epochs = 4;
+  config.batch_size = 64;
+  config.learning_rate = 0.01f;
+  config.weight_decay = 1e-4f;
+  config.optimizer = "rmsprop";
+  config.seed = 5;
+  return config;
+}
+
+void ExpectParamsBitIdentical(const autograd::ParamStore& a,
+                              const autograd::ParamStore& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.at(i)->name, b.at(i)->name);
+    ASSERT_EQ(0, std::memcmp(a.at(i)->value.data(), b.at(i)->value.data(),
+                             a.at(i)->value.size() * sizeof(float)))
+        << "parameter " << a.at(i)->name << " diverged";
+  }
+}
+
+class ResumeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ResumeTest, ResumedTrainingIsBitIdenticalToUninterrupted) {
+  const auto config = ResumeTrainConfig();
+  const auto& train = TestDataset().interactions;
+
+  // Reference: 4 epochs straight through.
+  auto reference = MakeTestModel(GetParam());
+  models::BprTrainer straight(reference.get(), &train, config);
+  straight.Train();
+
+  // Interrupted: 2 epochs, checkpoint, then a brand-new process-equivalent
+  // (fresh model + trainer) restores and finishes.
+  const std::string path = TempPath("hosr_resume_" + GetParam() + ".state");
+  {
+    auto model = MakeTestModel(GetParam());
+    models::BprTrainer trainer(model.get(), &train, config);
+    trainer.RunEpoch();
+    trainer.RunEpoch();
+    ASSERT_TRUE(trainer.SaveTrainingState(path).ok());
+  }  // "crash": model and trainer destroyed
+  auto resumed = MakeTestModel(GetParam());
+  models::BprTrainer trainer(resumed.get(), &train, config);
+  ASSERT_TRUE(trainer.RestoreTrainingState(path).ok());
+  EXPECT_EQ(trainer.epoch(), 2u);
+  const auto history = trainer.Train();
+  EXPECT_EQ(history.size(), 2u);
+
+  ExpectParamsBitIdentical(*reference->params(), *resumed->params());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ResumeTest,
+                         ::testing::Values("BPR", "HOSR"));
+
+TEST(ResumeTest, RefusesForeignModelConfigAndCorruption) {
+  const auto config = ResumeTrainConfig();
+  const auto& train = TestDataset().interactions;
+  const std::string path = TempPath("hosr_resume_guards.state");
+  auto model = MakeTestModel("BPR");
+  models::BprTrainer trainer(model.get(), &train, config);
+  trainer.RunEpoch();
+  ASSERT_TRUE(trainer.SaveTrainingState(path).ok());
+
+  // Wrong model.
+  {
+    auto other = MakeTestModel("HOSR");
+    models::BprTrainer foreign(other.get(), &train, config);
+    const auto status = foreign.RestoreTrainingState(path);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+  }
+  // Wrong config.
+  {
+    auto other = MakeTestModel("BPR");
+    auto drifted = config;
+    drifted.learning_rate = 0.02f;
+    models::BprTrainer foreign(other.get(), &train, drifted);
+    const auto status = foreign.RestoreTrainingState(path);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+  }
+  // Bit flips anywhere in the file: clean DataLoss, never a crash or a
+  // silently-garbled restore.
+  const std::string bytes = ReadRaw(path);
+  for (size_t byte = 0; byte < bytes.size();
+       byte += std::max<size_t>(1, bytes.size() / 97)) {
+    std::string corrupted = bytes;
+    corrupted[byte] ^= 0x40;
+    WriteRaw(path, corrupted);
+    auto other = MakeTestModel("BPR");
+    models::BprTrainer victim(other.get(), &train, config);
+    const auto status = victim.RestoreTrainingState(path);
+    ASSERT_FALSE(status.ok()) << "byte " << byte;
+    EXPECT_EQ(status.code(), util::StatusCode::kDataLoss) << "byte " << byte;
+  }
+  // Missing file is IoError (so callers can treat it as "start fresh").
+  std::remove(path.c_str());
+  EXPECT_EQ(trainer.RestoreTrainingState(path).code(),
+            util::StatusCode::kIoError);
+}
+
+// --- artifact corruption sweeps ----------------------------------------------
+
+TEST(CorruptionSweepTest, ParamCheckpointBitFlipsAreDataLoss) {
+  auto model = MakeTestModel("BPR");
+  const std::string path = TempPath("hosr_ckpt_sweep.bin");
+  ASSERT_TRUE(autograd::SaveCheckpoint(*model->params(), path).ok());
+  const std::string bytes = ReadRaw(path);
+  for (size_t byte = 0; byte < bytes.size();
+       byte += std::max<size_t>(1, bytes.size() / 97)) {
+    std::string corrupted = bytes;
+    corrupted[byte] ^= 0x01;
+    WriteRaw(path, corrupted);
+    const auto status = autograd::LoadCheckpoint(path, model->params());
+    ASSERT_FALSE(status.ok()) << "byte " << byte;
+    EXPECT_EQ(status.code(), util::StatusCode::kDataLoss) << "byte " << byte;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorruptionSweepTest, SnapshotBitFlipsAreDataLoss) {
+  auto model = MakeTestModel("BPR");
+  auto snapshot = serve::BuildSnapshot(*model);
+  ASSERT_TRUE(snapshot.ok());
+  const std::string path = TempPath("hosr_snap_sweep.bin");
+  ASSERT_TRUE(serve::SaveSnapshot(*snapshot, path).ok());
+  const std::string bytes = ReadRaw(path);
+  for (size_t byte = 0; byte < bytes.size();
+       byte += std::max<size_t>(1, bytes.size() / 97)) {
+    std::string corrupted = bytes;
+    corrupted[byte] ^= 0x80;
+    WriteRaw(path, corrupted);
+    const auto loaded = serve::LoadSnapshot(path);
+    ASSERT_FALSE(loaded.ok()) << "byte " << byte;
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kDataLoss)
+        << "byte " << byte;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hosr

@@ -49,6 +49,28 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::IoError("m").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Internal("m").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("m").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Unavailable("m").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("m").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("m").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DataLoss("m").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, OnlyUnavailableAndResourceExhaustedAreTransient) {
+  EXPECT_TRUE(Status::Unavailable("m").IsTransient());
+  EXPECT_TRUE(Status::ResourceExhausted("m").IsTransient());
+
+  EXPECT_FALSE(Status::Ok().IsTransient());
+  EXPECT_FALSE(Status::InvalidArgument("m").IsTransient());
+  EXPECT_FALSE(Status::NotFound("m").IsTransient());
+  EXPECT_FALSE(Status::OutOfRange("m").IsTransient());
+  EXPECT_FALSE(Status::FailedPrecondition("m").IsTransient());
+  EXPECT_FALSE(Status::IoError("m").IsTransient());
+  EXPECT_FALSE(Status::Internal("m").IsTransient());
+  EXPECT_FALSE(Status::Unimplemented("m").IsTransient());
+  EXPECT_FALSE(Status::DeadlineExceeded("m").IsTransient());
+  EXPECT_FALSE(Status::DataLoss("m").IsTransient());
 }
 
 Status FailsIfNegative(int x) {

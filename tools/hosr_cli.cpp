@@ -5,10 +5,14 @@
 //       Write a synthetic social-recommendation dataset as TSV files.
 //   train     --data=DIR --checkpoint=FILE [--model=HOSR] [--dim=N]
 //             [--epochs=N] [--lr=F] [--layers=N] [--early-stop]
-//             [--snapshot_out=FILE]
+//             [--snapshot_out=FILE] [--train_state=FILE] [--resume]
 //       Train a model on an on-disk dataset and save its parameters.
 //       --snapshot_out additionally freezes the trained model into a
 //       serving snapshot for hosr_serve (docs/SERVING.md).
+//       --train_state saves a crash-safe full training checkpoint (params,
+//       optimizer state, RNG streams, epoch) after every epoch; --resume
+//       restores it and continues, bit-identical to an uninterrupted run
+//       (docs/ROBUSTNESS.md).
 //   evaluate  --data=DIR --checkpoint=FILE [--model=HOSR] [--dim=N] [--k=N]
 //       Reload a checkpoint and report Recall/MAP/NDCG/Precision@K.
 //   recommend --data=DIR --checkpoint=FILE --user=N [--model=HOSR]
@@ -20,10 +24,17 @@
 //   --metrics_out=FILE      dump the metrics registry JSON at exit
 //   --metrics_interval=SECS background metrics snapshots every SECS seconds
 //   --log_level=debug|info|warning|error
+// and the fault-injection flags (docs/ROBUSTNESS.md):
+//   --fault_spec=SPEC       arm deterministic fault injection points
+//   --fault_seed=N          seed for probabilistic triggers (default 1)
+// The point `cli.train_crash` fires right after an epoch's training state
+// is saved and hard-kills the process (exit 42), simulating a crash for
+// resume testing: cli.train_crash:once=2 dies after the 2nd epoch.
 //
 // The train/evaluate/recommend trio demonstrates that checkpoints fully
 // capture a model: evaluation is reproducible across processes.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "autograd/checkpoint.h"
@@ -32,6 +43,7 @@
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
 #include "eval/metrics.h"
+#include "fault/fault.h"
 #include "models/early_stopping.h"
 #include "models/trainer.h"
 #include "obs/reporter.h"
@@ -147,15 +159,47 @@ int RunTrain(const util::Flags& flags) {
                                                         : "");
   } else {
     models::BprTrainer trainer(session->model.get(), &train, config);
+    const std::string train_state = flags.GetString("train_state", "");
+    if (flags.GetBool("resume", false)) {
+      if (train_state.empty()) {
+        std::fprintf(stderr, "--resume requires --train_state=FILE\n");
+        return 2;
+      }
+      auto restored = trainer.RestoreTrainingState(train_state);
+      if (restored.ok()) {
+        std::printf("resumed from %s at epoch %u/%u\n", train_state.c_str(),
+                    trainer.epoch(), config.epochs);
+      } else if (restored.code() == util::StatusCode::kIoError) {
+        // No checkpoint yet (first run of a --resume-always launcher):
+        // start from scratch. Corruption or config drift still aborts.
+        std::printf("no training state at %s, starting fresh\n",
+                    train_state.c_str());
+      } else {
+        return Fail(restored);
+      }
+    }
     // Epoch-cadence reporting: rewrite --metrics_out after every epoch so a
     // long run always has a current artifact on disk.
     obs::StatsReporter reporter(
         {.interval_seconds = 0.0,
          .metrics_path = flags.GetString("metrics_out", "")});
     models::EpochStats last;
-    for (uint32_t e = 0; e < config.epochs; ++e) {
+    while (trainer.epoch() < config.epochs) {
       last = trainer.RunEpoch();
       reporter.Snapshot();
+      if (!train_state.empty()) {
+        if (auto status = trainer.SaveTrainingState(train_state);
+            !status.ok()) {
+          return Fail(status);
+        }
+      }
+      // Simulated crash for resume testing: the epoch's state is on disk,
+      // the process dies without running atexit flushes.
+      if (auto crash = fault::Inject("cli.train_crash"); !crash.ok()) {
+        std::fprintf(stderr, "injected crash after epoch %u: %s\n",
+                     trainer.epoch() - 1, crash.ToString().c_str());
+        std::_Exit(42);
+      }
     }
     std::printf("trained %u epochs, final loss %.4f (%.1f samples/s)\n",
                 config.epochs, last.avg_loss, last.samples_per_sec);
@@ -257,6 +301,12 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const util::Flags flags = util::Flags::Parse(argc - 1, argv + 1);
   obs::InitFromFlags(flags);
+  const std::string fault_spec = flags.GetString("fault_spec", "");
+  if (!fault_spec.empty()) {
+    auto status = fault::FaultRegistry::Global().Configure(
+        fault_spec, static_cast<uint64_t>(flags.GetInt("fault_seed", 1)));
+    if (!status.ok()) return Fail(status);
+  }
   if (command == "generate") return RunGenerate(flags);
   if (command == "train") return RunTrain(flags);
   if (command == "evaluate") return RunEvaluate(flags);

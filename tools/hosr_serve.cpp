@@ -17,7 +17,21 @@
 //              [--cache_shards=16]
 //              [--batch=0]                 >0 routes through RequestBatcher
 //              [--linger_us=100]           batcher coalescing window
+//              [--queue_capacity=4096]     batcher admission limit (shed above)
 //              [--seed=1] [--summary_out=FILE]
+// hardening flags (docs/ROBUSTNESS.md):
+//              [--deadline_ms=0]           per-request budget; 0 disables
+//              [--retries=2]               retry attempts after the first
+//              [--retry_backoff_ms=2]      base backoff (decorrelated jitter)
+//              [--retry_backoff_max_ms=8]  backoff cap
+//              [--fault_spec=SPEC]         arm fault injection (e.g.
+//                                          engine.score:p=0.2)
+//              [--fault_seed=1]
+// Every request resolves — never hangs — to one of five outcomes tallied in
+// the JSON report: ok, degraded (popularity fallback), deadline_exceeded,
+// shed (queue full), error. With --fault_spec the outcome of each request
+// is a pure function of its stream index, so two same-seed runs report
+// identical counts.
 // plus the standard observability flags (--metrics_out, --trace_out, ...).
 #include <algorithm>
 #include <cmath>
@@ -29,13 +43,17 @@
 #include <vector>
 
 #include "data/io.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/reporter.h"
 #include "obs/trace.h"
 #include "serve/batcher.h"
 #include "serve/cache.h"
+#include "serve/degraded.h"
 #include "serve/engine.h"
+#include "serve/hardened.h"
 #include "serve/snapshot.h"
+#include "util/fileio.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -49,6 +67,37 @@ using namespace hosr;
 struct Request {
   uint32_t user;
   uint32_t k;
+};
+
+// Per-thread outcome tally, summed after the replay joins.
+struct Outcomes {
+  uint64_t ok = 0;
+  uint64_t degraded = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t shed = 0;
+  uint64_t error = 0;
+
+  void Count(const util::StatusOr<serve::ServeResponse>& response) {
+    if (response.ok()) {
+      if (response->degraded) {
+        ++degraded;
+      } else {
+        ++ok;
+      }
+      return;
+    }
+    switch (response.status().code()) {
+      case util::StatusCode::kDeadlineExceeded:
+        ++deadline_exceeded;
+        break;
+      case util::StatusCode::kResourceExhausted:
+        ++shed;
+        break;
+      default:
+        ++error;
+        break;
+    }
+  }
 };
 
 int Fail(const util::Status& status) {
@@ -110,6 +159,13 @@ int main(int argc, char** argv) {
   const util::Flags flags = util::Flags::Parse(argc, argv);
   obs::InitFromFlags(flags);
 
+  const std::string fault_spec = flags.GetString("fault_spec", "");
+  if (!fault_spec.empty()) {
+    auto status = fault::FaultRegistry::Global().Configure(
+        fault_spec, static_cast<uint64_t>(flags.GetInt("fault_seed", 1)));
+    if (!status.ok()) return Fail(status);
+  }
+
   const std::string snapshot_path = flags.GetString("snapshot", "");
   if (snapshot_path.empty()) {
     std::fprintf(stderr, "usage: hosr_serve --snapshot=FILE [flags]\n"
@@ -160,8 +216,22 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto cache_capacity =
+  // With faults armed, a request's outcome is a pure function of its stream
+  // index only when every request actually executes; which requests hit the
+  // shared cache depends on thread timing. Default the cache off under
+  // injection so same-seed runs report identical outcome counts — an
+  // explicit --cache_capacity restores it.
+  const bool faults_armed = fault::FaultRegistry::Global().armed();
+  auto cache_capacity =
       static_cast<size_t>(flags.GetInt("cache_capacity", 65536));
+  if (faults_armed && !flags.Has("cache_capacity")) {
+    if (cache_capacity > 0) {
+      std::fprintf(stderr,
+                   "note: fault injection armed, result cache disabled for "
+                   "deterministic outcomes (pass --cache_capacity to force)\n");
+    }
+    cache_capacity = 0;
+  }
   std::unique_ptr<serve::ResultCache> cache;
   if (cache_capacity > 0) {
     cache = std::make_unique<serve::ResultCache>(serve::ResultCache::Options{
@@ -170,14 +240,30 @@ int main(int argc, char** argv) {
             static_cast<size_t>(flags.GetInt("cache_shards", 16))});
   }
 
+  // Hardening: deadline budget, bounded retries with jittered backoff, and
+  // a popularity fallback so engine faults degrade instead of failing.
+  const serve::DegradedRanker degraded(&engine);
+  serve::HardenedOptions hardened;
+  hardened.deadline_ms = flags.GetDouble("deadline_ms", 0.0);
+  hardened.retry.max_attempts = 1 + static_cast<int>(flags.GetInt("retries", 2));
+  hardened.retry.initial_backoff_ms = flags.GetDouble("retry_backoff_ms", 2.0);
+  hardened.retry.max_backoff_ms =
+      flags.GetDouble("retry_backoff_max_ms", 8.0);
+  hardened.degraded = &degraded;
+  hardened.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const serve::HardenedExecutor executor(&engine, hardened);
+
   const auto batch = static_cast<size_t>(flags.GetInt("batch", 0));
   std::unique_ptr<serve::RequestBatcher> batcher;
   if (batch > 0) {
     batcher = std::make_unique<serve::RequestBatcher>(
         &engine, serve::RequestBatcher::Options{
                      .max_batch_size = batch,
+                     .queue_capacity = static_cast<size_t>(
+                         flags.GetInt("queue_capacity", 4096)),
                      .max_linger_us = flags.GetInt("linger_us", 100),
-                     .cache = cache.get()});
+                     .cache = cache.get(),
+                     .hardened = hardened});
   }
 
   size_t clients = static_cast<size_t>(flags.GetInt("clients", 0));
@@ -188,8 +274,11 @@ int main(int argc, char** argv) {
   const double qps_target = flags.GetDouble("qps", 0.0);
 
   // Replay: each client thread owns a contiguous slice of the stream and,
-  // under --qps, paces itself to its share of the target rate.
+  // under --qps, paces itself to its share of the target rate. Every
+  // request's fault token is its stream index, so injected outcomes are
+  // independent of thread scheduling.
   std::vector<std::vector<int64_t>> latencies_ns(clients);
+  std::vector<Outcomes> outcomes_per_client(clients);
   std::vector<std::thread> threads;
   threads.reserve(clients);
   const util::WallTimer replay_timer;
@@ -200,6 +289,7 @@ int main(int argc, char** argv) {
         const size_t begin = c * requests.size() / clients;
         const size_t end = (c + 1) * requests.size() / clients;
         auto& recorded = latencies_ns[c];
+        auto& tally = outcomes_per_client[c];
         recorded.reserve(end - begin);
         const double per_thread_period_s =
             qps_target > 0.0 ? static_cast<double>(clients) / qps_target
@@ -214,17 +304,27 @@ int main(int argc, char** argv) {
           }
           const Request& r = requests[i];
           const auto start = std::chrono::steady_clock::now();
+          util::StatusOr<serve::ServeResponse> response =
+              util::Status::Internal("unreached");
           if (batcher != nullptr) {
-            auto result = batcher->Submit(r.user, r.k).get();
-            HOSR_CHECK(result.ok()) << result.status();
-          } else if (cache != nullptr) {
-            if (!cache->Get(r.user, r.k)) {
-              cache->Put(r.user, r.k, engine.TopKForUser(r.user, r.k));
-            }
+            response = batcher->Submit(r.user, r.k).get();
           } else {
-            const auto ranked = engine.TopKForUser(r.user, r.k);
-            HOSR_CHECK(!ranked.empty());
+            bool served_from_cache = false;
+            if (cache != nullptr) {
+              if (auto hit = cache->Get(r.user, r.k)) {
+                response = serve::ServeResponse{std::move(*hit),
+                                                /*degraded=*/false};
+                served_from_cache = true;
+              }
+            }
+            if (!served_from_cache) {
+              response = executor.Execute(r.user, r.k, /*token=*/i);
+              if (response.ok() && !response->degraded && cache != nullptr) {
+                cache->Put(r.user, r.k, response->items);
+              }
+            }
           }
+          tally.Count(response);
           recorded.push_back(
               std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now() - start)
@@ -235,6 +335,15 @@ int main(int argc, char** argv) {
     for (auto& t : threads) t.join();
   }
   const double elapsed = replay_timer.ElapsedSeconds();
+
+  Outcomes outcomes;
+  for (const Outcomes& o : outcomes_per_client) {
+    outcomes.ok += o.ok;
+    outcomes.degraded += o.degraded;
+    outcomes.deadline_exceeded += o.deadline_exceeded;
+    outcomes.shed += o.shed;
+    outcomes.error += o.error;
+  }
 
   std::vector<int64_t> all_ns;
   all_ns.reserve(requests.size());
@@ -261,26 +370,40 @@ int main(int argc, char** argv) {
   HOSR_GAUGE("serve/replay_p99_us").Set(p99);
   HOSR_GAUGE("serve/cache_hit_rate").Set(hit_rate);
 
+  const uint64_t faults_injected =
+      fault::FaultRegistry::Global().TotalInjected();
   const std::string summary = util::StrFormat(
       "{\"snapshot\": \"%s\", \"model\": \"%s\", \"num_users\": %u, "
       "\"num_items\": %u, \"dim\": %u, \"requests\": %zu, \"clients\": %zu, "
-      "\"batched\": %s, \"elapsed_seconds\": %.4f, \"qps\": %.1f, "
+      "\"batched\": %s, \"deadline_ms\": %.3f, \"elapsed_seconds\": %.4f, "
+      "\"qps\": %.1f, "
       "\"latency_us\": {\"mean\": %.2f, \"p50\": %.2f, \"p95\": %.2f, "
       "\"p99\": %.2f}, \"cache\": {\"enabled\": %s, \"hits\": %llu, "
-      "\"misses\": %llu, \"evictions\": %llu, \"hit_rate\": %.4f}}",
+      "\"misses\": %llu, \"evictions\": %llu, \"hit_rate\": %.4f}, "
+      "\"outcomes\": {\"ok\": %llu, \"degraded\": %llu, "
+      "\"deadline_exceeded\": %llu, \"shed\": %llu, \"error\": %llu}, "
+      "\"faults_injected\": %llu}",
       snapshot_path.c_str(), model_name.c_str(), num_users, num_items, dim,
-      all_ns.size(), clients, batcher != nullptr ? "true" : "false", elapsed,
+      all_ns.size(), clients, batcher != nullptr ? "true" : "false",
+      hardened.deadline_ms, elapsed,
       qps, mean_us, p50, p95, p99, cache != nullptr ? "true" : "false",
       static_cast<unsigned long long>(cache_stats.hits),
       static_cast<unsigned long long>(cache_stats.misses),
-      static_cast<unsigned long long>(cache_stats.evictions), hit_rate);
+      static_cast<unsigned long long>(cache_stats.evictions), hit_rate,
+      static_cast<unsigned long long>(outcomes.ok),
+      static_cast<unsigned long long>(outcomes.degraded),
+      static_cast<unsigned long long>(outcomes.deadline_exceeded),
+      static_cast<unsigned long long>(outcomes.shed),
+      static_cast<unsigned long long>(outcomes.error),
+      static_cast<unsigned long long>(faults_injected));
   std::printf("%s\n", summary.c_str());
 
   const std::string summary_out = flags.GetString("summary_out", "");
   if (!summary_out.empty()) {
-    std::ofstream out(summary_out, std::ios::trunc);
-    out << summary << "\n";
-    if (!out) return Fail(util::Status::IoError("cannot write " + summary_out));
+    if (auto status = util::WriteFileAtomic(summary_out, summary + "\n");
+        !status.ok()) {
+      return Fail(status);
+    }
   }
   if (batcher != nullptr) batcher->Stop();
   obs::FlushArtifacts();
