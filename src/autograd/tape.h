@@ -82,7 +82,12 @@ class Tape {
 
   // sparse (r x c) times dense (c x d) -> (r x d). `transpose` must be the
   // CSR transpose of `matrix` (pass the same pointer when symmetric); it is
-  // used for the backward pass. Both must outlive the tape.
+  // used for the backward pass. Both must outlive the tape. The tape only
+  // borrows these pointers: build the transpose ONCE per graph (models
+  // cache it as a member next to the forward operator) and share it across
+  // every epoch, layer, and backward call — never rebuild it per step. The
+  // spmm/transpose_builds counter audits this: it must stay flat during
+  // training (tests/hosr_test.cc TransposeBuiltOncePerGraph).
   Value SpMM(const graph::CsrMatrix* matrix, const graph::CsrMatrix* transpose,
              Value dense);
 

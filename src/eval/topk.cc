@@ -1,5 +1,6 @@
 #include "eval/topk.h"
 
+#include "kernels/kernels.h"
 #include "util/logging.h"
 
 namespace hosr::eval {
@@ -34,11 +35,23 @@ std::vector<uint32_t> TopKAccumulator::Take() {
 std::vector<uint32_t> TopK(const float* scores, uint32_t num_items, uint32_t k,
                            const std::vector<uint32_t>& excluded) {
   TopKAccumulator acc(k);
+  const kernels::KernelTable& kern = kernels::Active();
   auto excluded_it = excluded.begin();
-  for (uint32_t j = 0; j < num_items; ++j) {
-    while (excluded_it != excluded.end() && *excluded_it < j) ++excluded_it;
-    if (excluded_it != excluded.end() && *excluded_it == j) continue;
-    acc.Consider(scores[j], j);
+  // Scan in blocks: once the heap is full, a SIMD max over the block
+  // rejects it wholesale when even its best score cannot enter the top-K.
+  // The max includes excluded items, which only makes the check
+  // conservative — a surviving block still filters per item below.
+  constexpr uint32_t kBlock = 4096;
+  for (uint32_t j0 = 0; j0 < num_items; j0 += kBlock) {
+    const uint32_t j1 = std::min(num_items, j0 + kBlock);
+    if (acc.Full() && !acc.WouldAccept(kern.reduce_max(j1 - j0, scores + j0))) {
+      continue;
+    }
+    for (uint32_t j = j0; j < j1; ++j) {
+      while (excluded_it != excluded.end() && *excluded_it < j) ++excluded_it;
+      if (excluded_it != excluded.end() && *excluded_it == j) continue;
+      acc.Consider(scores[j], j);
+    }
   }
   return acc.Take();
 }

@@ -31,6 +31,17 @@ class TopKAccumulator {
   // empty and ready for reuse with the same K.
   std::vector<uint32_t> Take();
 
+  // True once K candidates are held (a new candidate must displace one).
+  bool Full() const { return heap_.size() >= k_; }
+
+  // True when a candidate with this score could still enter the top-K:
+  // either the heap has room, or the score ties/beats the current worst
+  // (ties can win on the lower-index rule). Block scans use this with the
+  // block's max score to reject whole blocks without per-item compares.
+  bool WouldAccept(float score) const {
+    return heap_.size() < k_ || score >= heap_.front().first;
+  }
+
   uint32_t k() const { return k_; }
 
  private:

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace hosr::graph {
 
 CsrMatrix CsrMatrix::FromTriplets(uint32_t num_rows, uint32_t num_cols,
@@ -77,6 +79,11 @@ std::vector<uint32_t> CsrMatrix::RowDegrees() const {
 }
 
 CsrMatrix CsrMatrix::Transpose() const {
+  // Transposes are meant to be built once per graph and reused across
+  // epochs/layers (models cache them as members; autograd::Tape::SpMM only
+  // borrows pointers). This counter is the audit: it must stay flat while
+  // training runs (tests/hosr_test.cc TransposeBuiltOncePerGraph).
+  HOSR_COUNTER("spmm/transpose_builds").Increment();
   CsrMatrix t;
   t.num_rows_ = num_cols_;
   t.num_cols_ = num_rows_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -22,19 +23,27 @@ void Spmm(const CsrMatrix& sparse, const tensor::Matrix& dense,
 
   const size_t avg_row_nnz =
       std::max<size_t>(1, sparse.nnz() / std::max<uint32_t>(1, sparse.num_rows()));
-  const size_t grain = std::max<size_t>(16, 16384 / std::max<size_t>(1, avg_row_nnz * d));
+  const size_t grain = util::GrainFor(avg_row_nnz * d, /*min_grain=*/16);
+  const kernels::KernelTable& kern = kernels::Active();
 
+  // Row-parallel gather: each output row accumulates its neighbors' dense
+  // rows, two at a time through the axpy2 microkernel.
   util::ParallelFor(
       0, sparse.num_rows(),
       [&](size_t row_begin, size_t row_end) {
+        const float* values = sparse.values().data();
+        const uint32_t* cols = sparse.col_idx().data();
         for (size_t r = row_begin; r < row_end; ++r) {
           float* out_row = out->row(r);
           std::fill(out_row, out_row + d, 0.0f);
-          for (size_t k = sparse.row_begin(static_cast<uint32_t>(r));
-               k < sparse.row_end(static_cast<uint32_t>(r)); ++k) {
-            const float v = sparse.values()[k];
-            const float* in_row = dense.row(sparse.col_idx()[k]);
-            for (size_t c = 0; c < d; ++c) out_row[c] += v * in_row[c];
+          size_t k = sparse.row_begin(static_cast<uint32_t>(r));
+          const size_t end = sparse.row_end(static_cast<uint32_t>(r));
+          for (; k + 2 <= end; k += 2) {
+            kern.axpy2(d, values[k], dense.row(cols[k]), values[k + 1],
+                       dense.row(cols[k + 1]), out_row);
+          }
+          if (k < end) {
+            kern.axpy(d, values[k], dense.row(cols[k]), out_row);
           }
         }
       },
@@ -50,22 +59,17 @@ tensor::Matrix Spmm(const CsrMatrix& sparse, const tensor::Matrix& dense) {
 void SpmmTranspose(const CsrMatrix& sparse, const tensor::Matrix& dense,
                    tensor::Matrix* out) {
   HOSR_TRACE_SPAN("spmm/transpose");
-  HOSR_COUNTER("spmm/calls").Increment();
-  HOSR_COUNTER("spmm/rows_processed").Increment(sparse.num_rows());
-  HOSR_COUNTER("spmm/flops").Increment(2 * sparse.nnz() * dense.cols());
   HOSR_CHECK(dense.rows() == sparse.num_rows());
   HOSR_CHECK(out->rows() == sparse.num_cols() && out->cols() == dense.cols());
   HOSR_CHECK(out != &dense) << "SpmmTranspose does not support aliasing";
-  out->SetZero();
-  const size_t d = dense.cols();
-  for (uint32_t r = 0; r < sparse.num_rows(); ++r) {
-    const float* in_row = dense.row(r);
-    for (size_t k = sparse.row_begin(r); k < sparse.row_end(r); ++k) {
-      const float v = sparse.values()[k];
-      float* out_row = out->row(sparse.col_idx()[k]);
-      for (size_t c = 0; c < d; ++c) out_row[c] += v * in_row[c];
-    }
-  }
+  // Materialize the transpose and reuse the row-parallel gather kernel: the
+  // O(nnz) transpose build costs the same order as the multiply itself and
+  // buys a deterministic, threaded gather in place of the old serial
+  // scatter. Hot paths that apply the same operator repeatedly should build
+  // the transpose CSR once and call Spmm on it directly (autograd::Tape
+  // does; the spmm/transpose_builds counter proves nothing rebuilds).
+  const CsrMatrix transposed = sparse.Transpose();
+  Spmm(transposed, dense, out);
 }
 
 }  // namespace hosr::graph

@@ -15,10 +15,12 @@ void Spmm(const CsrMatrix& sparse, const tensor::Matrix& dense,
 // Convenience allocating form.
 tensor::Matrix Spmm(const CsrMatrix& sparse, const tensor::Matrix& dense);
 
-// out = sparse^T * dense without materializing the transpose; used by the
-// autograd backward pass of Spmm. dense is (sparse.num_rows x d); out must
-// be pre-sized to (sparse.num_cols x d). Single-threaded scatter (kept
-// deterministic); prefer passing an explicit transposed CSR for hot paths.
+// out = sparse^T * dense. dense is (sparse.num_rows x d); out must be
+// pre-sized to (sparse.num_cols x d). Materializes the transpose CSR per
+// call (O(nnz), counted by spmm/transpose_builds) and routes through the
+// row-parallel Spmm gather, so it threads and vectorizes like the forward
+// pass; hot paths that reuse the operator should build the transpose once
+// and call Spmm on it directly (as autograd::Tape::SpMM does).
 void SpmmTranspose(const CsrMatrix& sparse, const tensor::Matrix& dense,
                    tensor::Matrix* out);
 

@@ -1,0 +1,61 @@
+// Portable scalar reference kernels. Every loop accumulates strictly
+// left-to-right with a single accumulator, so results are bit-identical on
+// any platform and any compiler that honors IEEE float semantics — this is
+// the table HOSR_FORCE_SCALAR pins and the baseline the SIMD tables are
+// tested against.
+#include <cfloat>
+
+#include "kernels/kernels.h"
+
+namespace hosr::kernels {
+namespace {
+
+void AxpyScalar(size_t n, float alpha, const float* x, float* y) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Axpy2Scalar(size_t n, float a0, const float* x0, float a1,
+                 const float* x1, float* y) {
+  for (size_t i = 0; i < n; ++i) y[i] += a0 * x0[i] + a1 * x1[i];
+}
+
+float DotScalar(size_t n, const float* a, const float* b) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void ScaleScalar(size_t n, float alpha, float* x) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+float ReduceMaxScalar(size_t n, const float* x) {
+  float best = x[0];
+  for (size_t i = 1; i < n; ++i) {
+    if (x[i] > best) best = x[i];
+  }
+  return best;
+}
+
+float ScoreBlockScalar(size_t items, size_t d, const float* u,
+                       const float* item_rows, const float* bias, float* out) {
+  float best = -FLT_MAX;
+  for (size_t j = 0; j < items; ++j) {
+    float score = DotScalar(d, u, item_rows + j * d);
+    if (bias != nullptr) score += bias[j];
+    out[j] = score;
+    if (score > best) best = score;
+  }
+  return best;
+}
+
+constexpr KernelTable kScalarTable = {
+    "scalar",        kLevelScalar, AxpyScalar,      Axpy2Scalar,
+    DotScalar,       ScaleScalar,  ReduceMaxScalar, ScoreBlockScalar,
+};
+
+}  // namespace
+
+const KernelTable& Scalar() { return kScalarTable; }
+
+}  // namespace hosr::kernels

@@ -4,6 +4,7 @@
 
 #include "eval/topk.h"
 #include "fault/fault.h"
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -83,6 +84,8 @@ util::StatusOr<RankedItems> InferenceEngine::TopKImpl(
 
   static thread_local std::vector<float> scratch;
   scratch.resize(options_.item_block);
+  const kernels::KernelTable& kern = kernels::Active();
+  HOSR_COUNTER("kernels/score_flops").Increment(2ull * m * d);
   eval::TopKAccumulator acc(k);
   auto excluded_it = excluded.begin();
   for (uint32_t j0 = 0; j0 < m; j0 += options_.item_block) {
@@ -95,13 +98,16 @@ util::StatusOr<RankedItems> InferenceEngine::TopKImpl(
           "deadline expired mid-scan at item %u of %u", j0, m));
     }
     const uint32_t j1 = std::min(m, j0 + options_.item_block);
-    for (uint32_t j = j0; j < j1; ++j) {
-      const float* v = f.item_factors.row(j);
-      float score = 0.0f;
-      for (size_t dd = 0; dd < d; ++dd) score += u[dd] * v[dd];
-      if (!f.item_bias.empty()) score += f.item_bias[j];
-      scratch[j - j0] = score;
-    }
+    // Fused scoring GEMV: one pass fills the scratch block and returns its
+    // max, so a block whose best score cannot crack the current top-K is
+    // rejected without any per-item heap compares. The reject is exact:
+    // WouldAccept keeps ties (lower index can still win), and scores are
+    // identical either way, so rankings never change.
+    const float block_max = kern.score_block(
+        j1 - j0, d, u, f.item_factors.row(j0),
+        f.item_bias.empty() ? nullptr : f.item_bias.data() + j0,
+        scratch.data());
+    if (acc.Full() && !acc.WouldAccept(block_max)) continue;
     for (uint32_t j = j0; j < j1; ++j) {
       while (excluded_it != excluded.end() && *excluded_it < j) ++excluded_it;
       if (excluded_it != excluded.end() && *excluded_it == j) continue;
@@ -126,6 +132,10 @@ std::vector<std::vector<uint32_t>> InferenceEngine::TopKBatch(
     const std::vector<uint32_t>& users, uint32_t k) const {
   HOSR_TRACE_SPAN("serve/topk_batch");
   std::vector<std::vector<uint32_t>> results(users.size());
+  const size_t users_per_chunk =
+      options_.min_users_per_chunk > 0
+          ? options_.min_users_per_chunk
+          : util::GrainFor(static_cast<size_t>(num_items()) * dim());
   util::ParallelFor(
       0, users.size(),
       [&](size_t begin, size_t end) {
@@ -133,7 +143,7 @@ std::vector<std::vector<uint32_t>> InferenceEngine::TopKBatch(
           results[i] = TopKForUser(users[i], k);
         }
       },
-      options_.min_users_per_chunk);
+      users_per_chunk);
   HOSR_HISTOGRAM("serve/batch_size").Observe(static_cast<double>(users.size()));
   return results;
 }

@@ -24,10 +24,10 @@ struct EngineOptions {
   // Items are scored in blocks of this many rows so the per-query score
   // scratch stays cache-resident even for catalogs in the millions.
   uint32_t item_block = 2048;
-  // Minimum users per thread-pool chunk in TopKBatch: small enough to
-  // spread a modest batch over every core, large enough to amortize the
-  // pool's dispatch cost.
-  size_t min_users_per_chunk = 4;
+  // Minimum users per thread-pool chunk in TopKBatch. 0 (the default)
+  // sizes the chunk with util::GrainFor from the per-user scoring work
+  // (num_items * dim); set explicitly to override the heuristic.
+  size_t min_users_per_chunk = 0;
 };
 
 // Answers top-K queries over a frozen ModelSnapshot: a blocked GEMV over

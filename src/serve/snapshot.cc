@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "kernels/kernels.h"
 #include "tensor/serialize.h"
 #include "util/fileio.h"
 #include "util/string_util.h"
@@ -51,8 +52,10 @@ util::Status ReadBias(std::istream* in, size_t n, const char* what,
 float ModelSnapshot::Score(uint32_t user, uint32_t item) const {
   const float* u = factors.user_factors.row(user);
   const float* v = factors.item_factors.row(item);
-  float acc = 0.0f;
-  for (size_t d = 0; d < factors.item_factors.cols(); ++d) acc += u[d] * v[d];
+  // Same dot microkernel (and thus accumulation order) as tensor::Gemm and
+  // the engine's blocked scan, so served scores stay bit-identical to
+  // ScoreAllItems within any one dispatch mode.
+  float acc = kernels::Active().dot(factors.item_factors.cols(), u, v);
   if (!factors.user_bias.empty()) acc += factors.user_bias[user];
   if (!factors.item_bias.empty()) acc += factors.item_bias[item];
   return acc + factors.global_bias;

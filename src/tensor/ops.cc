@@ -3,14 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace hosr::tensor {
 
 namespace {
-
-// Minimum elements per task chunk; below this, threading overhead dominates.
-constexpr size_t kParallelGrain = 16 * 1024;
 
 void CheckSameShape(const Matrix& a, const Matrix& b) {
   HOSR_CHECK(a.SameShape(b)) << a.rows() << "x" << a.cols() << " vs "
@@ -31,10 +30,15 @@ void Gemm(const Matrix& a, bool transpose_a, const Matrix& b, bool transpose_b,
       << n;
   HOSR_CHECK(out != &a && out != &b) << "Gemm does not support aliasing";
 
+  HOSR_COUNTER("kernels/gemm_flops").Increment(2 * m * n * k);
+  const kernels::KernelTable& kern = kernels::Active();
+
   // i-k-j loop order keeps the inner loop streaming over contiguous rows of
-  // the (possibly logically transposed) operands. For transposed B we
-  // materialize nothing: B^T(kk, j) = B(j, kk) is strided, so instead we use
-  // the j-major inner loop with an accumulator.
+  // the (possibly logically transposed) operands: pairs of rank-1 row
+  // updates through the axpy2 microkernel. For transposed B we materialize
+  // nothing: B^T(kk, j) = B(j, kk) is strided, so the j-major inner loop
+  // reduces with the dot microkernel instead (or a scalar accumulator when
+  // A is also transposed and its column walk is strided too).
   util::ParallelFor(
       0, m,
       [&](size_t row_begin, size_t row_end) {
@@ -43,31 +47,38 @@ void Gemm(const Matrix& a, bool transpose_a, const Matrix& b, bool transpose_b,
           if (beta == 0.0f) {
             std::fill(out_row, out_row + n, 0.0f);
           } else if (beta != 1.0f) {
-            for (size_t j = 0; j < n; ++j) out_row[j] *= beta;
+            kern.scale(n, beta, out_row);
           }
           if (!transpose_b) {
-            for (size_t kk = 0; kk < k; ++kk) {
-              const float a_ik =
-                  transpose_a ? a(kk, i) : a(i, kk);
-              if (a_ik == 0.0f) continue;
-              const float scaled = alpha * a_ik;
-              const float* b_row = b.row(kk);
-              for (size_t j = 0; j < n; ++j) out_row[j] += scaled * b_row[j];
+            size_t kk = 0;
+            for (; kk + 2 <= k; kk += 2) {
+              const float a0 = transpose_a ? a(kk, i) : a(i, kk);
+              const float a1 = transpose_a ? a(kk + 1, i) : a(i, kk + 1);
+              kern.axpy2(n, alpha * a0, b.row(kk), alpha * a1, b.row(kk + 1),
+                         out_row);
+            }
+            if (kk < k) {
+              const float a_ik = transpose_a ? a(kk, i) : a(i, kk);
+              kern.axpy(n, alpha * a_ik, b.row(kk), out_row);
+            }
+          } else if (!transpose_a) {
+            const float* a_row = a.row(i);
+            for (size_t j = 0; j < n; ++j) {
+              out_row[j] += alpha * kern.dot(k, a_row, b.row(j));
             }
           } else {
             for (size_t j = 0; j < n; ++j) {
               const float* b_row = b.row(j);
               float acc = 0.0f;
               for (size_t kk = 0; kk < k; ++kk) {
-                const float a_ik = transpose_a ? a(kk, i) : a(i, kk);
-                acc += a_ik * b_row[kk];
+                acc += a(kk, i) * b_row[kk];
               }
               out_row[j] += alpha * acc;
             }
           }
         }
       },
-      std::max<size_t>(1, kParallelGrain / std::max<size_t>(1, n * k)));
+      util::GrainFor(n * k));
 }
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
@@ -79,18 +90,14 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 Matrix Add(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b);
   Matrix out = a;
-  const float* bp = b.data();
-  float* op = out.data();
-  for (size_t i = 0; i < out.size(); ++i) op[i] += bp[i];
+  kernels::Active().axpy(out.size(), 1.0f, b.data(), out.data());
   return out;
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b);
   Matrix out = a;
-  const float* bp = b.data();
-  float* op = out.data();
-  for (size_t i = 0; i < out.size(); ++i) op[i] -= bp[i];
+  kernels::Active().axpy(out.size(), -1.0f, b.data(), out.data());
   return out;
 }
 
@@ -105,17 +112,14 @@ Matrix Hadamard(const Matrix& a, const Matrix& b) {
 
 Matrix Scale(const Matrix& a, float s) {
   Matrix out = a;
-  float* op = out.data();
-  for (size_t i = 0; i < out.size(); ++i) op[i] *= s;
+  kernels::Active().scale(out.size(), s, out.data());
   return out;
 }
 
 void Axpy(float alpha, const Matrix& b, Matrix* a) {
   CheckSameShape(*a, b);
-  float* ap = a->data();
-  const float* bp = b.data();
-  const size_t n = a->size();
-  for (size_t i = 0; i < n; ++i) ap[i] += alpha * bp[i];
+  HOSR_COUNTER("kernels/axpy_flops").Increment(2 * a->size());
+  kernels::Active().axpy(a->size(), alpha, b.data(), a->data());
 }
 
 void Apply(Matrix* m, float (*fn)(float)) {
@@ -126,7 +130,7 @@ void Apply(Matrix* m, float (*fn)(float)) {
       [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) p[i] = fn(p[i]);
       },
-      kParallelGrain);
+      util::GrainFor(1));
 }
 
 Matrix Tanh(const Matrix& a) {
@@ -149,13 +153,11 @@ Matrix Sigmoid(const Matrix& a) {
 
 Matrix RowDot(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b);
+  HOSR_COUNTER("kernels/dot_flops").Increment(2 * a.size());
+  const kernels::KernelTable& kern = kernels::Active();
   Matrix out(a.rows(), 1);
   for (size_t r = 0; r < a.rows(); ++r) {
-    const float* ar = a.row(r);
-    const float* br = b.row(r);
-    float acc = 0.0f;
-    for (size_t c = 0; c < a.cols(); ++c) acc += ar[c] * br[c];
-    out(r, 0) = acc;
+    out(r, 0) = kern.dot(a.cols(), a.row(r), b.row(r));
   }
   return out;
 }
@@ -204,10 +206,9 @@ Matrix BroadcastColMul(const Matrix& a, const Matrix& scale) {
       << "scale must be (" << a.rows() << " x 1), got " << scale.rows() << "x"
       << scale.cols();
   Matrix out = a;
+  const kernels::KernelTable& kern = kernels::Active();
   for (size_t r = 0; r < a.rows(); ++r) {
-    const float s = scale(r, 0);
-    float* orow = out.row(r);
-    for (size_t c = 0; c < a.cols(); ++c) orow[c] *= s;
+    kern.scale(a.cols(), scale(r, 0), out.row(r));
   }
   return out;
 }

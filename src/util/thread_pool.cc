@@ -102,4 +102,11 @@ void ParallelFor(size_t begin, size_t end,
   pool.Wait();
 }
 
+size_t GrainFor(size_t work_per_item, size_t min_grain) {
+  const size_t work = std::max<size_t>(1, work_per_item);
+  const size_t lo = std::max<size_t>(1, min_grain);
+  const size_t hi = std::max(lo, kGrainTargetWork);
+  return std::clamp(kGrainTargetWork / work, lo, hi);
+}
+
 }  // namespace hosr::util

@@ -53,6 +53,17 @@ void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t, size_t)>& body,
                  size_t min_chunk = 1024);
 
+// Roughly how much work one ParallelFor chunk should carry before the
+// pool's dispatch overhead is amortized, in scalar-op units.
+inline constexpr size_t kGrainTargetWork = 16 * 1024;
+
+// The one grain-sizing heuristic for ParallelFor `min_chunk` arguments:
+// items per chunk so each chunk carries about kGrainTargetWork ops, where
+// `work_per_item` is the per-item cost in scalar-op units (e.g. nnz * d for
+// an SpMM row). Clamped to [min_grain, max(min_grain, kGrainTargetWork)];
+// zero work_per_item is treated as 1.
+size_t GrainFor(size_t work_per_item, size_t min_grain = 1);
+
 }  // namespace hosr::util
 
 #endif  // HOSR_UTIL_THREAD_POOL_H_

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "data/interactions.h"
 #include "eval/evaluator.h"
 #include "eval/metrics.h"
 #include "eval/significance.h"
+#include "eval/topk.h"
 #include "tensor/matrix.h"
 #include "util/random.h"
 
@@ -75,6 +78,70 @@ TEST(MetricsTest, TopKTieBreaksByIndex) {
   const float scores[] = {0.5f, 0.5f, 0.5f};
   const auto top = TopKExcluding(scores, 3, 2, {});
   EXPECT_EQ(top, (std::vector<uint32_t>{0, 1}));
+}
+
+// --- TopKAccumulator block fast-reject ------------------------------------------
+
+TEST(TopKAccumulatorTest, FullOnlyAfterKCandidates) {
+  TopKAccumulator acc(3);
+  EXPECT_FALSE(acc.Full());
+  acc.Consider(0.5f, 0);
+  acc.Consider(0.8f, 1);
+  EXPECT_FALSE(acc.Full());
+  acc.Consider(0.2f, 2);
+  EXPECT_TRUE(acc.Full());
+}
+
+TEST(TopKAccumulatorTest, WouldAcceptTracksCurrentWorst) {
+  TopKAccumulator acc(2);
+  // Room left: everything is acceptable.
+  EXPECT_TRUE(acc.WouldAccept(-1e30f));
+  acc.Consider(0.5f, 0);
+  acc.Consider(0.8f, 1);
+  // Worst held score is 0.5.
+  EXPECT_FALSE(acc.WouldAccept(0.4f));
+  EXPECT_TRUE(acc.WouldAccept(0.6f));
+  // A tie must stay acceptable: an equal score at a lower index wins.
+  EXPECT_TRUE(acc.WouldAccept(0.5f));
+}
+
+TEST(TopKAccumulatorTest, TieAtWorstScoreCanStillWinOnIndex) {
+  TopKAccumulator acc(2);
+  acc.Consider(0.5f, 7);
+  acc.Consider(0.8f, 9);
+  ASSERT_TRUE(acc.WouldAccept(0.5f));
+  acc.Consider(0.5f, 3);  // same score, lower index: displaces index 7
+  EXPECT_EQ(acc.Take(), (std::vector<uint32_t>{9, 3}));
+}
+
+TEST(TopKTest, BlockRejectScanMatchesBruteForce) {
+  // More items than one 4096-item scan block, so the block-max fast-reject
+  // path actually rejects blocks; results must equal a full sort.
+  constexpr uint32_t kItems = 10000;
+  util::Rng rng(29);
+  std::vector<float> scores(kItems);
+  for (auto& s : scores) s = rng.Gaussian();
+  // Force cross-block ties so the >= reject rule is exercised.
+  scores[9500] = scores[12] = scores[4100];
+  const std::vector<uint32_t> excluded = {12, 4097, 9999};
+
+  const auto got = TopK(scores.data(), kItems, 25, excluded);
+
+  std::vector<uint32_t> order(kItems);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  std::vector<uint32_t> want;
+  for (uint32_t idx : order) {
+    if (std::find(excluded.begin(), excluded.end(), idx) != excluded.end()) {
+      continue;
+    }
+    want.push_back(idx);
+    if (want.size() == 25) break;
+  }
+  EXPECT_EQ(got, want);
 }
 
 // --- Evaluator ------------------------------------------------------------------

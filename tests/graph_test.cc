@@ -9,6 +9,7 @@
 #include "graph/social_graph.h"
 #include "graph/spmm.h"
 #include "graph/stats.h"
+#include "obs/metrics.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 #include "util/random.h"
@@ -197,6 +198,44 @@ TEST(SpmmTest, TransposeMatchesExplicitTranspose) {
   SpmmTranspose(sparse, dense, &via_scatter);
   const Matrix via_explicit = Spmm(sparse.Transpose(), dense);
   EXPECT_TRUE(tensor::AllClose(via_scatter, via_explicit, 1e-5));
+}
+
+TEST(SpmmTest, TransposeMatchesExplicitTransposeLarge) {
+  // Large enough to cross the row-parallel grain and the axpy2-paired nnz
+  // loop with an odd remainder; covers the parallelized SpmmTranspose path.
+  util::Rng rng(11);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 3000; ++i) {
+    triplets.push_back({static_cast<uint32_t>(rng.UniformInt(120)),
+                        static_cast<uint32_t>(rng.UniformInt(90)),
+                        rng.Gaussian()});
+  }
+  const CsrMatrix sparse = CsrMatrix::FromTriplets(120, 90, triplets);
+  Matrix dense(120, 17);
+  tensor::GaussianInit(&dense, 1.0f, &rng);
+
+  Matrix fast(90, 17);
+  SpmmTranspose(sparse, dense, &fast);
+  const Matrix reference = Spmm(sparse.Transpose(), dense);
+  EXPECT_TRUE(tensor::AllClose(fast, reference, 1e-5));
+}
+
+TEST(SpmmTest, TransposeBuildCounterIncrements) {
+  auto& builds = HOSR_COUNTER("spmm/transpose_builds");
+  const uint64_t before = builds.Get();
+  const CsrMatrix sparse =
+      CsrMatrix::FromTriplets(3, 4, {{0, 1, 1.0f}, {2, 3, 2.0f}});
+  const CsrMatrix transposed = sparse.Transpose();
+  EXPECT_EQ(builds.Get(), before + 1);
+  // SpmmTranspose materializes a transpose per call — exactly one build.
+  Matrix dense(3, 2, 1.0f);
+  Matrix out(4, 2);
+  SpmmTranspose(sparse, dense, &out);
+  EXPECT_EQ(builds.Get(), before + 2);
+  // The forward Spmm never builds a transpose.
+  const Matrix fwd = Spmm(transposed, dense);
+  EXPECT_EQ(fwd.rows(), 4u);
+  EXPECT_EQ(builds.Get(), before + 2);
 }
 
 TEST(SpmmTest, EmptyRowsYieldZero) {

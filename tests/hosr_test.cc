@@ -9,6 +9,7 @@
 #include "graph/laplacian.h"
 #include "graph/spmm.h"
 #include "models/trainer.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 
 namespace hosr::core {
@@ -397,6 +398,36 @@ TEST(HosrTrainingTest, LossDecreasesAndBeatsInitialRanking) {
 
   const double recall_after = evaluator.Evaluate(scorer).recall;
   EXPECT_GT(recall_after, recall_before + 0.02);
+}
+
+TEST(HosrTrainingTest, TransposeBuiltOncePerGraph) {
+  // The tape's SpMM borrows a cached transpose pointer (autograd/tape.h):
+  // models must build it once at construction (or never, when the operator
+  // is symmetric) and share it across every epoch, layer, and backward.
+  // The spmm/transpose_builds counter audits that — it must stay flat
+  // during training, including graph-dropout epochs that rebuild the
+  // propagation operator.
+  const data::Dataset& d = MediumDataset();
+  Hosr::Config config;
+  config.embedding_dim = 4;
+  config.num_layers = 2;
+  config.graph_dropout = 0.3f;  // forces a per-epoch operator rebuild
+  config.seed = 21;
+  Hosr model(d, config);
+
+  auto& builds = HOSR_COUNTER("spmm/transpose_builds");
+  const uint64_t after_construction = builds.Get();
+
+  models::TrainConfig train_config;
+  train_config.epochs = 3;
+  train_config.batch_size = 128;
+  train_config.learning_rate = 0.003f;
+  train_config.seed = 21;
+  models::BprTrainer trainer(&model, &d.interactions, train_config);
+  trainer.Train();
+
+  EXPECT_EQ(builds.Get(), after_construction)
+      << "a transpose CSR was rebuilt during training";
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <set>
@@ -434,6 +435,38 @@ TEST(ParallelForTest, NestedCallsRunInline) {
     }
   }, 1);
   EXPECT_EQ(counter.load(), 800);
+}
+
+TEST(GrainForTest, ChunksCarryAboutTargetWork) {
+  // grain * work_per_item should land on kGrainTargetWork when it divides
+  // evenly.
+  EXPECT_EQ(GrainFor(1), kGrainTargetWork);
+  EXPECT_EQ(GrainFor(64), kGrainTargetWork / 64);
+  EXPECT_EQ(GrainFor(kGrainTargetWork), 1u);
+}
+
+TEST(GrainForTest, MonotonicNonIncreasingInWork) {
+  size_t prev = GrainFor(1);
+  for (size_t work = 2; work <= 4096; work *= 2) {
+    const size_t g = GrainFor(work);
+    EXPECT_LE(g, prev) << "work=" << work;
+    prev = g;
+  }
+}
+
+TEST(GrainForTest, NeverZeroEvenForHugeWork) {
+  EXPECT_GE(GrainFor(0), 1u);  // zero work treated as 1
+  EXPECT_EQ(GrainFor(1u << 30), 1u);
+  EXPECT_EQ(GrainFor(std::numeric_limits<size_t>::max()), 1u);
+}
+
+TEST(GrainForTest, MinGrainIsHonored) {
+  // Heavy work would give grain 1, but the caller's floor wins.
+  EXPECT_EQ(GrainFor(1u << 20, /*min_grain=*/16), 16u);
+  // Light work keeps the computed grain when it already exceeds the floor.
+  EXPECT_EQ(GrainFor(64, /*min_grain=*/16), kGrainTargetWork / 64);
+  // min_grain of 0 is floored to 1 (a 0 chunk would be a ParallelFor bug).
+  EXPECT_GE(GrainFor(1u << 20, /*min_grain=*/0), 1u);
 }
 
 TEST(TimerTest, MeasuresElapsedTime) {

@@ -44,6 +44,7 @@
 #include "eval/evaluator.h"
 #include "eval/metrics.h"
 #include "fault/fault.h"
+#include "kernels/kernels.h"
 #include "models/early_stopping.h"
 #include "models/trainer.h"
 #include "obs/reporter.h"
@@ -301,6 +302,11 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const util::Flags flags = util::Flags::Parse(argc - 1, argv + 1);
   obs::InitFromFlags(flags);
+  // Must run before the first kernel call: dispatch resolves once and then
+  // stays fixed for the process lifetime.
+  if (flags.GetBool("force_scalar", false)) setenv("HOSR_FORCE_SCALAR", "1", 1);
+  HOSR_LOG(Info) << "kernels: dispatch level " << kernels::Active().name
+                 << (kernels::ForcedScalar() ? " (forced scalar)" : "");
   const std::string fault_spec = flags.GetString("fault_spec", "");
   if (!fault_spec.empty()) {
     auto status = fault::FaultRegistry::Global().Configure(

@@ -36,6 +36,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -44,6 +45,7 @@
 
 #include "data/io.h"
 #include "fault/fault.h"
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "obs/reporter.h"
 #include "obs/trace.h"
@@ -158,6 +160,11 @@ double PercentileUs(const std::vector<int64_t>& sorted_ns, double p) {
 int main(int argc, char** argv) {
   const util::Flags flags = util::Flags::Parse(argc, argv);
   obs::InitFromFlags(flags);
+  // Resolve kernel dispatch before any scoring so the level is fixed (and
+  // logged) for the whole serving process.
+  if (flags.GetBool("force_scalar", false)) setenv("HOSR_FORCE_SCALAR", "1", 1);
+  HOSR_LOG(Info) << "kernels: dispatch level " << kernels::Active().name
+                 << (kernels::ForcedScalar() ? " (forced scalar)" : "");
 
   const std::string fault_spec = flags.GetString("fault_spec", "");
   if (!fault_spec.empty()) {
