@@ -9,6 +9,7 @@
 
 #include "common/bench_util.h"
 #include "core/hosr.h"
+#include "util/string_util.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -25,26 +26,27 @@ int main(int argc, char** argv) {
 
   struct Variant {
     const char* name;
+    const char* key;  // stable gauge-name segment for bench_diff
     void (*apply)(core::Hosr::Config*);
   };
   const Variant variants[] = {
-      {"paper default (tanh, +I, item term, 1/sqrt|I_i|)",
+      {"paper default (tanh, +I, item term, 1/sqrt|I_i|)", "paper_default",
        [](core::Hosr::Config*) {}},
-      {"decay 1/sqrt(|I_i||A_j|)",
+      {"decay 1/sqrt(|I_i||A_j|)", "decay_sqrt_both",
        [](core::Hosr::Config* c) {
          c->implicit_decay = core::ImplicitDecay::kSqrtBoth;
        }},
-      {"no item-implicit term",
+      {"no item-implicit term", "no_item_term",
        [](core::Hosr::Config* c) { c->item_implicit_term = false; }},
-      {"ReLU activation",
+      {"ReLU activation", "relu_activation",
        [](core::Hosr::Config* c) {
          c->activation = core::Activation::kRelu;
        }},
-      {"no self-connections",
+      {"no self-connections", "no_self_connections",
        [](core::Hosr::Config* c) { c->self_connections = false; }},
-      {"no graph dropout",
+      {"no graph dropout", "no_graph_dropout",
        [](core::Hosr::Config* c) { c->graph_dropout = 0.0f; }},
-      {"simplified propagation (no W, linear)",
+      {"simplified propagation (no W, linear)", "simplified_propagation",
        [](core::Hosr::Config* c) {
          c->use_layer_weights = false;
          c->use_activation = false;
@@ -60,6 +62,9 @@ int main(int argc, char** argv) {
     variant.apply(&config);
     core::Hosr model(dataset.split.train, config);
     const auto result = bench::TrainModelBest(&model, dataset, options);
+    bench::PublishResultGauge(
+        "ablation_design_choices",
+        util::StrFormat("%s_recall_at_20", variant.key), result.recall);
     table.AddRow({variant.name, util::Table::Cell(result.recall),
                   util::Table::Cell(result.map)});
     std::fprintf(stderr, "  %s: R@20=%.4f\n", variant.name, result.recall);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 
+#include "obs/metrics.h"
 #include "obs/reporter.h"
 #include "util/logging.h"
 
@@ -134,6 +135,35 @@ TrainedModel TrainAndEvaluate(const std::string& model_name,
   trained.model = std::move(model).value();
   trained.result = TrainModelBest(trained.model.get(), dataset, options);
   return trained;
+}
+
+namespace {
+
+std::string SanitizeMetricSegment(const std::string& raw) {
+  std::string segment;
+  segment.reserve(raw.size());
+  for (char c : raw) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    segment.push_back(ok ? c : '_');
+  }
+  if (segment.empty() || segment[0] < 'a' || segment[0] > 'z') {
+    segment.insert(segment.begin(), 'n');
+  }
+  return segment;
+}
+
+}  // namespace
+
+void PublishResultGauge(const std::string& bench, const std::string& metric,
+                        double value) {
+  // Dynamic names can't use the HOSR_GAUGE macro (it caches per call site);
+  // resolve through the registry directly.
+  obs::Registry::Global()
+      .GetGauge("bench/" + SanitizeMetricSegment(bench) + "/" +
+                SanitizeMetricSegment(metric))
+      ->Set(value);
 }
 
 void MaybeWriteCsv(const BenchOptions& options, const std::string& name,

@@ -86,6 +86,15 @@ TrainedModel TrainAndEvaluate(const std::string& model_name,
 void MaybeWriteCsv(const BenchOptions& options, const std::string& name,
                    const std::string& csv);
 
+// Publishes a headline result as the gauge `bench/<bench>/<metric>` so the
+// --metrics_out artifact (bench_metrics/<bench>.json under run_benches.sh)
+// carries the bench's numbers in machine-readable form for tools/bench_diff.
+// Both name parts are sanitized to the registry's naming rules (lowercased;
+// non-[a-z0-9_] become '_'; a leading non-letter gets an 'n' prefix), so
+// free-form labels like "Yelp-like" are safe to pass through.
+void PublishResultGauge(const std::string& bench, const std::string& metric,
+                        double value);
+
 }  // namespace hosr::bench
 
 #endif  // HOSR_BENCH_COMMON_BENCH_UTIL_H_

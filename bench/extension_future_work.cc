@@ -35,6 +35,10 @@ int main(int argc, char** argv) {
       config.seed = options.seed;
       core::Hosr model(dataset.split.train, config);
       const auto result = bench::TrainModelBest(&model, dataset, options);
+      bench::PublishResultGauge(
+          "extension_future_work",
+          util::StrFormat("%s_hosr_recall_at_20", dataset.label.c_str()),
+          result.recall);
       table.AddRow({dataset.label, "HOSR (paper)",
                     util::Table::Cell(result.recall),
                     util::Table::Cell(result.map)});
@@ -50,6 +54,11 @@ int main(int argc, char** argv) {
       config.seed = options.seed;
       core::Hosr model(dataset.split.train, config);
       const auto result = bench::TrainModelBest(&model, dataset, options);
+      bench::PublishResultGauge(
+          "extension_future_work",
+          util::StrFormat("%s_simplified_recall_at_20",
+                          dataset.label.c_str()),
+          result.recall);
       table.AddRow({dataset.label, "HOSR simplified (no W, linear)",
                     util::Table::Cell(result.recall),
                     util::Table::Cell(result.map)});
@@ -63,6 +72,11 @@ int main(int argc, char** argv) {
       config.seed = options.seed;
       core::HosrJoint model(dataset.split.train, config);
       const auto result = bench::TrainModelBest(&model, dataset, options);
+      bench::PublishResultGauge(
+          "extension_future_work",
+          util::StrFormat("%s_hosr_joint_recall_at_20",
+                          dataset.label.c_str()),
+          result.recall);
       table.AddRow({dataset.label, "HOSR-Joint (future work 1)",
                     util::Table::Cell(result.recall),
                     util::Table::Cell(result.map)});
@@ -76,6 +90,11 @@ int main(int argc, char** argv) {
       config.seed = options.seed;
       core::HosrGat model(dataset.split.train, config);
       const auto result = bench::TrainModelBest(&model, dataset, options);
+      bench::PublishResultGauge(
+          "extension_future_work",
+          util::StrFormat("%s_hosr_gat_recall_at_20",
+                          dataset.label.c_str()),
+          result.recall);
       table.AddRow({dataset.label, "HOSR-GAT (future work 2)",
                     util::Table::Cell(result.recall),
                     util::Table::Cell(result.map)});

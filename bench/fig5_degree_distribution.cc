@@ -38,8 +38,11 @@ int main(int argc, char** argv) {
                     util::StrFormat("%.1f%%", share * 100),
                     std::string(static_cast<size_t>(share * 60), '#')});
     }
-    table.AddRow({dataset.label, "Gini(degree)",
-                  util::Table::Cell(graph::DegreeGini(dataset.full.social), 3),
+    const double gini = graph::DegreeGini(dataset.full.social);
+    bench::PublishResultGauge(
+        "fig5_degree_distribution",
+        util::StrFormat("%s_degree_gini", dataset.label.c_str()), gini);
+    table.AddRow({dataset.label, "Gini(degree)", util::Table::Cell(gini, 3),
                   "", ""});
   }
   std::printf("%s\n", table.ToText().c_str());

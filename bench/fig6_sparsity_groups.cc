@@ -31,12 +31,18 @@ int main(int argc, char** argv) {
     for (const auto& name : core::AllModelNames()) {
       const auto trained =
           bench::TrainAndEvaluate(name, dataset, options, options.dim);
-      for (const auto& group : groups) {
+      for (size_t g = 0; g < groups.size(); ++g) {
+        const auto& group = groups[g];
         const auto result = evaluator.EvaluateUsers(
             [&](const std::vector<uint32_t>& users) {
               return trained.model->ScoreAllItems(users);
             },
             group.users);
+        bench::PublishResultGauge(
+            "fig6_sparsity_groups",
+            util::StrFormat("%s_%s_group%zu_recall_at_20",
+                            dataset.label.c_str(), name.c_str(), g + 1),
+            result.recall);
         table.AddRow({dataset.label, group.Label(),
                       util::StrFormat("%zu", group.users.size()), name,
                       util::Table::Cell(result.recall),

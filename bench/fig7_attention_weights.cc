@@ -55,6 +55,18 @@ int main(int argc, char** argv) {
     bench::TrainModel(&model, dataset, options);
     const tensor::Matrix weights = model.AttentionWeights();
 
+    for (size_t l = 0; l < 3; ++l) {
+      double sum = 0;
+      for (uint32_t u = 0; u < dataset.full.num_users(); ++u) {
+        sum += weights(u, l);
+      }
+      bench::PublishResultGauge(
+          "fig7_attention_weights",
+          util::StrFormat("%s_mean_layer%zu_weight", dataset.label.c_str(),
+                          l + 1),
+          sum / dataset.full.num_users());
+    }
+
     struct Grouping {
       const char* name;
       std::vector<uint32_t> edges;

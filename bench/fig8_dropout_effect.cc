@@ -36,6 +36,12 @@ int main(int argc, char** argv) {
         config.seed = options.seed;
         core::Hosr model(dataset.split.train, config);
         const auto result = bench::TrainModelBest(&model, dataset, options);
+        bench::PublishResultGauge(
+            "fig8_dropout_effect",
+            util::StrFormat("%s_%s_%02d_recall_at_20", dataset.label.c_str(),
+                            sweep_graph ? "graph_p2" : "embedding_p1",
+                            static_cast<int>(ratio * 10 + 0.5f)),
+            result.recall);
         table.AddRow({dataset.label,
                       sweep_graph ? "graph p2" : "embedding p1",
                       util::Table::Cell(ratio, 1),

@@ -5,6 +5,7 @@
 //    ("the complexity is compatible to that of TrustSVD").
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <vector>
 
 #include "core/hosr.h"
@@ -13,7 +14,9 @@
 #include "graph/laplacian.h"
 #include "graph/spmm.h"
 #include "models/trust_svd.h"
+#include "obs/metrics.h"
 #include "obs/reporter.h"
+#include "obs/trace.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 #include "util/flags.h"
@@ -187,6 +190,52 @@ void BM_HosrScoreAllItems(benchmark::State& state) {
 }
 BENCHMARK(BM_HosrScoreAllItems);
 
+// Times `steps` training steps of `model` directly (outside the benchmark
+// harness) and returns the average microseconds per step.
+double MeasureStepMicros(models::RankingModel* model, int steps) {
+  const data::Dataset& dataset = BenchDataset();
+  data::BprSampler sampler(&dataset.interactions, 5);
+  util::Rng rng(6);
+  const int64_t begin_ns = obs::NowNanos();
+  for (int i = 0; i < steps; ++i) {
+    const data::BprBatch batch = sampler.SampleBatch(512);
+    autograd::Tape tape;
+    autograd::Value loss = model->BuildLoss(&tape, batch, &rng);
+    model->params()->ZeroGrad();
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(model->params()->at(0)->grad.data());
+  }
+  return static_cast<double>(obs::NowNanos() - begin_ns) / 1e3 / steps;
+}
+
+// Publishes the headline Sec. 2.5 comparability number — the HOSR-3 /
+// TrustSVD per-step cost ratio — as a gauge for bench_diff trajectories.
+void PublishStepCostGauges() {
+  const data::Dataset& dataset = BenchDataset();
+  core::Hosr::Config hosr_config;
+  hosr_config.embedding_dim = 10;
+  hosr_config.num_layers = 3;
+  hosr_config.graph_dropout = 0.0f;
+  hosr_config.seed = 4;
+  core::Hosr hosr(dataset, hosr_config);
+  models::TrustSvd::Config trust_config;
+  trust_config.embedding_dim = 10;
+  trust_config.seed = 4;
+  models::TrustSvd trust(dataset, trust_config);
+  constexpr int kSteps = 16;
+  MeasureStepMicros(&hosr, 2);   // warmup
+  MeasureStepMicros(&trust, 2);  // warmup
+  const double hosr_us = MeasureStepMicros(&hosr, kSteps);
+  const double trust_us = MeasureStepMicros(&trust, kSteps);
+  auto& registry = hosr::obs::Registry::Global();
+  registry.GetGauge("bench/micro_complexity/hosr3_step_us")->Set(hosr_us);
+  registry.GetGauge("bench/micro_complexity/trustsvd_step_us")->Set(trust_us);
+  registry.GetGauge("bench/micro_complexity/hosr3_vs_trustsvd_penalty")
+      ->Set(hosr_us / trust_us);
+  std::printf("step cost: HOSR-3 %.1f us, TrustSVD %.1f us (%.2fx)\n",
+              hosr_us, trust_us, hosr_us / trust_us);
+}
+
 }  // namespace
 
 // Like BENCHMARK_MAIN(), but routes non---benchmark_* flags (--metrics_out=,
@@ -211,6 +260,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
+  PublishStepCostGauges();
   benchmark::Shutdown();
   return 0;
 }

@@ -53,6 +53,11 @@ int main(int argc, char** argv) {
              std::string(row.dataset) == "Douban");
         if (dataset_match && std::string(row.order) == names[k]) paper = &row;
       }
+      bench::PublishResultGauge(
+          "table1_neighbor_growth",
+          util::StrFormat("%s_%s_order_neighbors", dataset.label.c_str(),
+                          names[k]),
+          stats[k].avg_neighbors_per_user);
       table.AddRow({dataset.label, names[k],
                     util::StrFormat("%.2f%%", stats[k].density * 100),
                     util::Table::Cell(stats[k].avg_neighbors_per_user, 1),

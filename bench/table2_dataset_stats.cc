@@ -48,6 +48,15 @@ int main(int argc, char** argv) {
   table.AddRow({"Avg. relations", util::Table::Cell(ys.avg_relations, 2),
                 "15.99", util::Table::Cell(ds.avg_relations, 2), "14.26"});
 
+  bench::PublishResultGauge("table2_dataset_stats", "yelp_avg_interactions",
+                            ys.avg_interactions);
+  bench::PublishResultGauge("table2_dataset_stats", "yelp_avg_relations",
+                            ys.avg_relations);
+  bench::PublishResultGauge("table2_dataset_stats", "douban_avg_interactions",
+                            ds.avg_interactions);
+  bench::PublishResultGauge("table2_dataset_stats", "douban_avg_relations",
+                            ds.avg_relations);
+
   std::printf("%s", table.ToText().c_str());
   std::printf("* paper reports relation counts whose directedness is "
               "ambiguous; we compare per-user averages instead.\n\n");

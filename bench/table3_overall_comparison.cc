@@ -53,6 +53,11 @@ int main(int argc, char** argv) {
       }
 
       for (size_t i = 0; i < trained.size(); ++i) {
+        bench::PublishResultGauge(
+            "table3_overall_comparison",
+            util::StrFormat("%s_d%u_%s_recall_at_20", dataset.label.c_str(),
+                            dim, names[i].c_str()),
+            trained[i].result.recall);
         const bool is_hosr = i + 1 == trained.size();
         std::string p_value = "-";
         if (!is_hosr) {

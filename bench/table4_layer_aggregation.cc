@@ -57,6 +57,12 @@ int main(int argc, char** argv) {
         config.seed = options.seed;
         core::Hosr model(dataset.split.train, config);
         const auto result = bench::TrainModelBest(&model, dataset, options);
+        bench::PublishResultGauge(
+            "table4_layer_aggregation",
+            util::StrFormat("%s_hosr%u_%s_recall_at_20",
+                            dataset.label.c_str(), layers,
+                            AggregationName(aggregation)),
+            result.recall);
         table.AddRow({dataset.label, util::StrFormat("HOSR-%u", layers),
                       AggregationName(aggregation),
                       util::Table::Cell(result.recall),

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "util/string_util.h"
 
@@ -214,6 +215,10 @@ util::Status FaultRegistry::InjectImpl(std::string_view point,
 
   p->fired.fetch_add(1, std::memory_order_relaxed);
   HOSR_COUNTER("fault/injected").Increment();
+  // Every fired fault is a flight-recorder trigger: when armed, the recorder
+  // notes the point and dumps (rate-limited) so the metrics/span state at
+  // the moment of injection is preserved for the post-mortem.
+  obs::FlightRecorder::Global().OnFault(spec.point);
   if (spec.delay_ms > 0.0) {
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(spec.delay_ms));

@@ -1,0 +1,412 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hosr::obs {
+
+namespace {
+
+// Handlers and the test client bound their socket reads so a stalled peer
+// cannot pin a thread forever.
+constexpr int kSocketTimeoutSeconds = 5;
+
+void SetRecvTimeout(int fd) {
+  struct timeval tv;
+  tv.tv_sec = kSocketTimeoutSeconds;
+  tv.tv_usec = 0;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                           MSG_NOSIGNAL
+#else
+                           0
+#endif
+    );
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string_view ReasonPhrase(int status_code) {
+  switch (status_code) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+}  // namespace
+
+HealthTracker& HealthTracker::Global() {
+  // Leaked: reported from request threads that may outlive static dtors.
+  static HealthTracker* tracker = new HealthTracker;
+  return *tracker;
+}
+
+void HealthTracker::ReportOutcome(bool failed) {
+  (failed ? failed_ : ok_).fetch_add(1, std::memory_order_relaxed);
+  const uint64_t total = ok_.load(std::memory_order_relaxed) +
+                         failed_.load(std::memory_order_relaxed);
+  if (total >= 2 * kWindow) {
+    // Halve both counts so the rate forgets old traffic. The lock only
+    // serializes the (rare) decay; reporting itself stays lock-free.
+    std::lock_guard<std::mutex> lock(decay_mutex_);
+    if (ok_.load(std::memory_order_relaxed) +
+            failed_.load(std::memory_order_relaxed) >=
+        2 * kWindow) {
+      ok_.store(ok_.load(std::memory_order_relaxed) / 2,
+                std::memory_order_relaxed);
+      failed_.store(failed_.load(std::memory_order_relaxed) / 2,
+                    std::memory_order_relaxed);
+    }
+  }
+}
+
+double HealthTracker::FailureRate() const {
+  const uint64_t failed = failed_.load(std::memory_order_relaxed);
+  const uint64_t total = failed + ok_.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  return static_cast<double>(failed) / static_cast<double>(total);
+}
+
+bool HealthTracker::healthy() const {
+  const uint64_t failed = failed_.load(std::memory_order_relaxed);
+  const uint64_t total = failed + ok_.load(std::memory_order_relaxed);
+  if (total < kMinSamples) return true;
+  return static_cast<double>(failed) / static_cast<double>(total) <
+         kDegradedThreshold;
+}
+
+void HealthTracker::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(decay_mutex_);
+  ready_.store(false, std::memory_order_relaxed);
+  ok_.store(0, std::memory_order_relaxed);
+  failed_.store(0, std::memory_order_relaxed);
+}
+
+AdminServer::AdminServer(Options options) : options_(options) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+util::Status AdminServer::Start() {
+  if (started_) {
+    return util::Status::FailedPrecondition("admin server already started");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::Status::IoError(
+        util::StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::IoError(util::StrFormat(
+        "bind(127.0.0.1:%d): %s", options_.port, error.c_str()));
+  }
+  if (listen(listen_fd_, 16) != 0) {
+    const std::string error = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::IoError(
+        util::StrFormat("listen(): %s", error.c_str()));
+  }
+  // Resolve the ephemeral port the kernel picked when Options::port == 0.
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                  &addr_len) != 0) {
+    const std::string error = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::IoError(
+        util::StrFormat("getsockname(): %s", error.c_str()));
+  }
+  port_ = ntohs(addr.sin_port);
+  start_ns_ = NowNanos();
+  stopping_.store(false, std::memory_order_relaxed);
+
+  const int handler_count = options_.handler_threads > 0
+                                ? options_.handler_threads
+                                : 1;
+  handlers_.reserve(static_cast<size_t>(handler_count));
+  for (int i = 0; i < handler_count; ++i) {
+    handlers_.emplace_back([this] { HandlerLoop(); });
+  }
+  listener_ = std::thread([this] { ListenLoop(); });
+  started_ = true;
+  HOSR_LOG(Info) << "admin server listening on 127.0.0.1:" << port_;
+  return util::Status::Ok();
+}
+
+void AdminServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  stopping_.store(true, std::memory_order_relaxed);
+  // shutdown() wakes the blocked accept() so the listener can observe
+  // stopping_; the fd itself is closed only after the thread exits.
+  shutdown(listen_fd_, SHUT_RDWR);
+  if (listener_.joinable()) listener_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (size_t i = 0; i < handlers_.size(); ++i) pending_.push_back(-1);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& handler : handlers_) {
+    if (handler.joinable()) handler.join();
+  }
+  handlers_.clear();
+  // Drain connections accepted but never claimed by a handler.
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  for (const int fd : pending_) {
+    if (fd >= 0) close(fd);
+  }
+  pending_.clear();
+}
+
+void AdminServer::SetVar(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(vars_mutex_);
+  vars_[std::string(key)] = std::string(value);
+}
+
+void AdminServer::ListenLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      if (errno == EINTR) continue;
+      return;  // listener socket is gone; nothing left to accept
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      pending_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void AdminServer::HandlerLoop() {
+  for (;;) {
+    int fd;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return !pending_.empty(); });
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    if (fd < 0) return;  // shutdown sentinel
+    ServeConnection(fd);
+    close(fd);
+  }
+}
+
+HttpResponse AdminServer::HandlePath(std::string_view path) const {
+  // Split off the query string: /metricsz?anything hits /metricsz; only
+  // /tracez reads it (limit=N).
+  std::string_view query_string;
+  if (const size_t query = path.find('?'); query != std::string_view::npos) {
+    query_string = path.substr(query + 1);
+    path = path.substr(0, query);
+  }
+  HttpResponse response;
+  response.status_code = 200;
+  if (path == "/metricsz") {
+    response.body = Registry::Global().ToJson();
+  } else if (path == "/healthz") {
+    HealthTracker& health = HealthTracker::Global();
+    const bool healthy = health.healthy();
+    if (!healthy) response.status_code = 503;
+    response.body = util::StrFormat(
+        "{\"status\": \"%s\", \"failure_rate\": %.4f}\n",
+        healthy ? "ok" : "degraded", health.FailureRate());
+  } else if (path == "/readyz") {
+    const bool ready = HealthTracker::Global().ready();
+    if (!ready) response.status_code = 503;
+    response.body =
+        util::StrFormat("{\"ready\": %s}\n", ready ? "true" : "false");
+  } else if (path == "/varz") {
+    std::string body = "{\n  \"vars\": {";
+    {
+      std::lock_guard<std::mutex> lock(vars_mutex_);
+      bool first = true;
+      for (const auto& [key, value] : vars_) {
+        if (!first) body.push_back(',');
+        first = false;
+        body.append(util::StrFormat("\n    \"%s\": \"%s\"",
+                                    JsonEscapeString(key).c_str(),
+                                    JsonEscapeString(value).c_str()));
+      }
+    }
+    body.append(util::StrFormat(
+        "\n  },\n  \"uptime_s\": %.3f,\n  \"admin_port\": %d\n}\n",
+        static_cast<double>(NowNanos() - start_ns_) / 1e9, port_));
+    response.body = std::move(body);
+  } else if (path == "/tracez") {
+    // The full per-thread rings can hold tens of thousands of spans
+    // (multi-MB JSON) — far too heavy to poll. Serve the newest slice;
+    // /tracez?limit=N adjusts it.
+    constexpr size_t kDefaultTracezSpans = 2048;
+    size_t limit = kDefaultTracezSpans;
+    constexpr std::string_view kLimitKey = "limit=";
+    if (query_string.substr(0, kLimitKey.size()) == kLimitKey) {
+      const std::string value(query_string.substr(kLimitKey.size()));
+      char* parse_end = nullptr;
+      const unsigned long long parsed =
+          std::strtoull(value.c_str(), &parse_end, 10);
+      if (parse_end != value.c_str() && parsed > 0) {
+        limit = static_cast<size_t>(parsed);
+      }
+    }
+    response.body = SpansToJson(NewestSpans(limit));
+  } else {
+    response.status_code = 404;
+    response.body = util::StrFormat(
+        "{\"error\": \"no such endpoint: %s\", \"endpoints\": "
+        "[\"/metricsz\", \"/healthz\", \"/readyz\", \"/varz\", "
+        "\"/tracez\"]}\n",
+        JsonEscapeString(path).c_str());
+  }
+  return response;
+}
+
+void AdminServer::ServeConnection(int fd) const {
+  SetRecvTimeout(fd);
+  // Read until the end of the request line; the rest of the headers are
+  // irrelevant to a GET-only server and may still be in flight.
+  std::string request;
+  char buffer[1024];
+  while (request.find('\n') == std::string::npos &&
+         request.size() < 8 * 1024) {
+    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<size_t>(n));
+  }
+  const size_t line_end = request.find('\n');
+  if (line_end == std::string::npos) return;  // torn request; just close
+
+  HOSR_COUNTER("admin/requests").Increment();
+  std::string_view line(request.data(), line_end);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  HttpResponse response;
+  const size_t method_end = line.find(' ');
+  if (method_end == std::string_view::npos ||
+      line.substr(0, method_end) != "GET") {
+    response.status_code = 405;
+    response.body = "{\"error\": \"only GET is supported\"}\n";
+  } else {
+    std::string_view target = line.substr(method_end + 1);
+    if (const size_t space = target.find(' ');
+        space != std::string_view::npos) {
+      target = target.substr(0, space);
+    }
+    response = HandlePath(target);
+  }
+  if (response.status_code != 200) {
+    HOSR_COUNTER("admin/request_errors").Increment();
+  }
+
+  const std::string header = util::StrFormat(
+      "HTTP/1.0 %d %.*s\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      response.status_code,
+      static_cast<int>(ReasonPhrase(response.status_code).size()),
+      ReasonPhrase(response.status_code).data(), response.body.size());
+  if (SendAll(fd, header)) SendAll(fd, response.body);
+}
+
+util::StatusOr<HttpResponse> AdminHttpGet(int port, const std::string& path) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::IoError(
+        util::StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  SetRecvTimeout(fd);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    close(fd);
+    return util::Status::IoError(util::StrFormat(
+        "connect(127.0.0.1:%d): %s", port, error.c_str()));
+  }
+  const std::string request =
+      util::StrFormat("GET %s HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n",
+                      path.c_str());
+  if (!SendAll(fd, request)) {
+    close(fd);
+    return util::Status::IoError("send() failed");
+  }
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      close(fd);
+      return util::Status::IoError(
+          util::StrFormat("recv(): %s", std::strerror(errno)));
+    }
+    if (n == 0) break;  // HTTP/1.0: server closes after the body
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  close(fd);
+
+  // "HTTP/1.0 <code> <reason>\r\n" headers "\r\n\r\n" body.
+  const size_t status_start = raw.find(' ');
+  if (status_start == std::string::npos) {
+    return util::Status::DataLoss("malformed HTTP response: no status code");
+  }
+  HttpResponse response;
+  response.status_code = std::atoi(raw.c_str() + status_start + 1);
+  const size_t body_start = raw.find("\r\n\r\n");
+  if (body_start == std::string::npos) {
+    return util::Status::DataLoss("malformed HTTP response: no header end");
+  }
+  response.body = raw.substr(body_start + 4);
+  return response;
+}
+
+}  // namespace hosr::obs

@@ -1,0 +1,7 @@
+#include "obs/context.h"
+
+namespace hosr::obs::internal_context {
+
+thread_local RequestContext g_current;
+
+}  // namespace hosr::obs::internal_context

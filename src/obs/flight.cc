@@ -1,0 +1,208 @@
+#include "obs/flight.h"
+
+#include <csignal>
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/fileio.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hosr::obs {
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked: the signal path and fault hooks may run during shutdown.
+  static FlightRecorder* recorder = new FlightRecorder;
+  return *recorder;
+}
+
+void FlightRecorder::Arm(Options options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_ = std::move(options);
+  armed_.store(!options_.dir.empty(), std::memory_order_relaxed);
+}
+
+void FlightRecorder::Note(std::string_view event) {
+  if (!armed()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (notes_.size() < kNoteCapacity) {
+    notes_.emplace_back(event);
+  } else {
+    notes_[next_note_] = std::string(event);
+    next_note_ = (next_note_ + 1) % kNoteCapacity;
+  }
+}
+
+void FlightRecorder::OnFault(std::string_view point) {
+  if (!armed()) return;
+  Note(util::StrFormat("fault fired: %.*s", static_cast<int>(point.size()),
+                       point.data()));
+  const util::Status status = DumpNow(
+      util::StrFormat("fault:%.*s", static_cast<int>(point.size()),
+                      point.data()));
+  if (!status.ok() &&
+      status.code() != util::StatusCode::kResourceExhausted &&
+      status.code() != util::StatusCode::kFailedPrecondition) {
+    HOSR_LOG(Warning) << "flight dump on fault failed: " << status;
+  }
+}
+
+void FlightRecorder::OnDeadlineExceeded() {
+  if (!armed()) return;
+  const int64_t now_ns = NowNanos();
+  int64_t window_ns;
+  uint64_t threshold;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    window_ns = static_cast<int64_t>(options_.burst_window_seconds * 1e9);
+    threshold = options_.burst_threshold;
+  }
+  int64_t window_start =
+      burst_window_start_ns_.load(std::memory_order_relaxed);
+  if (window_start == 0 || now_ns - window_start > window_ns) {
+    // A new burst window. Only the thread that wins the CAS resets the
+    // count, so a racing event is at worst attributed to the old window.
+    if (burst_window_start_ns_.compare_exchange_strong(
+            window_start, now_ns, std::memory_order_relaxed)) {
+      burst_count_.store(0, std::memory_order_relaxed);
+    }
+  }
+  const uint64_t in_window =
+      burst_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (in_window == threshold) {
+    Note(util::StrFormat(
+        "deadline-exceeded burst: %llu events within window",
+        static_cast<unsigned long long>(in_window)));
+    const util::Status status = DumpNow("deadline_burst");
+    if (!status.ok() &&
+        status.code() != util::StatusCode::kResourceExhausted &&
+        status.code() != util::StatusCode::kFailedPrecondition) {
+      HOSR_LOG(Warning) << "flight dump on deadline burst failed: " << status;
+    }
+  }
+}
+
+std::string FlightRecorder::BuildDumpJson(std::string_view reason) {
+  // Newest spans win the bounded slice — the dump reads chronologically
+  // and ends at the trigger.
+  const std::vector<SpanRecord> spans = NewestSpans(kMaxDumpSpans);
+
+  std::string json = "{\n";
+  json.append(util::StrFormat("  \"reason\": \"%s\",\n",
+                              JsonEscapeString(reason).c_str()));
+  json.append(util::StrFormat("  \"uptime_ns\": %lld,\n",
+                              static_cast<long long>(NowNanos())));
+  json.append(util::StrFormat(
+      "  \"dump_seq\": %llu,\n",
+      static_cast<unsigned long long>(
+          dumps_written_.load(std::memory_order_relaxed))));
+  json.append("  \"notes\": [");
+  {
+    // Ring order: oldest first. notes_[next_note_..] predate notes_[0..).
+    bool first = true;
+    const auto append_note = [&](const std::string& note) {
+      if (!first) json.push_back(',');
+      first = false;
+      json.append("\n    \"");
+      json.append(JsonEscapeString(note));
+      json.push_back('"');
+    };
+    if (notes_.size() == kNoteCapacity) {
+      for (size_t i = next_note_; i < notes_.size(); ++i) {
+        append_note(notes_[i]);
+      }
+      for (size_t i = 0; i < next_note_; ++i) append_note(notes_[i]);
+    } else {
+      for (const std::string& note : notes_) append_note(note);
+    }
+  }
+  json.append("\n  ],\n");
+  json.append("  \"metrics\": ");
+  json.append(Registry::Global().ToJson());
+  // ToJson ends with '\n'; replace it so the object continues cleanly.
+  if (!json.empty() && json.back() == '\n') json.pop_back();
+  json.append(",\n  \"trace\": ");
+  json.append(SpansToJson(spans));
+  if (!json.empty() && json.back() == '\n') json.pop_back();
+  json.append("\n}\n");
+  return json;
+}
+
+util::Status FlightRecorder::DumpNow(std::string_view reason, bool force) {
+  if (!armed()) {
+    return util::Status::FailedPrecondition("flight recorder is disarmed");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t written = dumps_written_.load(std::memory_order_relaxed);
+  if (written >= static_cast<uint64_t>(options_.max_dumps)) {
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "flight dump cap reached (%d)", options_.max_dumps));
+  }
+  const int64_t now_ns = NowNanos();
+  const int64_t min_gap_ns =
+      static_cast<int64_t>(options_.min_interval_seconds * 1e9);
+  if (!force && last_dump_ns_ != 0 && now_ns - last_dump_ns_ < min_gap_ns) {
+    return util::Status::ResourceExhausted(
+        "flight dump suppressed by rate limit");
+  }
+
+  const std::string path = util::StrFormat(
+      "%s/flight_%llu_%lld.json", options_.dir.c_str(),
+      static_cast<unsigned long long>(written),
+      static_cast<long long>(now_ns));
+  const std::string body = BuildDumpJson(reason);
+  HOSR_RETURN_IF_ERROR(util::WriteFileAtomicWithCrc(path, body));
+  last_dump_ns_ = now_ns;
+  last_dump_path_ = path;
+  dumps_written_.fetch_add(1, std::memory_order_relaxed);
+  HOSR_COUNTER("obs/flight_dumps").Increment();
+  HOSR_LOG(Info) << "flight recorder dumped " << path << " (reason: "
+                 << reason << ")";
+  return util::Status::Ok();
+}
+
+std::string FlightRecorder::last_dump_path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_dump_path_;
+}
+
+void FlightRecorder::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_relaxed);
+  options_ = Options();
+  notes_.clear();
+  next_note_ = 0;
+  last_dump_ns_ = 0;
+  last_dump_path_.clear();
+  dumps_written_.store(0, std::memory_order_relaxed);
+  burst_window_start_ns_.store(0, std::memory_order_relaxed);
+  burst_count_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+void FatalSignalHandler(int signum) {
+  // Deliberately not async-signal-safe (allocates, locks): the process is
+  // crashing and the forensics are best-effort. A deadlock here only costs
+  // the dump, not correctness — the default disposition is restored first,
+  // so a re-entrant signal still terminates.
+  std::signal(signum, SIG_DFL);
+  FlightRecorder::Global().DumpNow(
+      util::StrFormat("signal:%d", signum), /*force=*/true);
+  std::raise(signum);
+}
+
+}  // namespace
+
+void FlightRecorder::InstallSignalHandlers() {
+  static bool installed = [] {
+    std::signal(SIGSEGV, FatalSignalHandler);
+    std::signal(SIGABRT, FatalSignalHandler);
+    std::signal(SIGBUS, FatalSignalHandler);
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace hosr::obs

@@ -1,0 +1,105 @@
+#ifndef HOSR_OBS_FLIGHT_H_
+#define HOSR_OBS_FLIGHT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hosr::obs {
+
+// Flight recorder: a fixed-size global ring of recent annotations plus, on a
+// trigger, a crash-forensics dump of the process's observability state —
+// recent spans (bounded, newest first), the full metrics registry, and the
+// annotation ring — written to `<dir>/flight_<seq>_<uptime_ns>.json` via
+// util::WriteFileAtomicWithCrc so a dump that survives is never torn.
+//
+// Triggers:
+//   * injected faults — fault::FaultRegistry calls OnFault() on every fire;
+//   * deadline-exceeded bursts — the hardened executor calls
+//     OnDeadlineExceeded(); enough events inside the burst window dump once;
+//   * fatal signals — InstallSignalHandlers() hooks SIGSEGV/SIGABRT/SIGBUS
+//     for a best-effort dump (explicitly NOT async-signal-safe: it allocates
+//     and locks; acceptable because the process is already dying and the
+//     alternative is no forensics at all);
+//   * DumpNow() — manual.
+//
+// Dumps are rate-limited (min interval between dumps, lifetime cap) so a
+// fault storm cannot fill the disk. Disarmed (the default) every hook is a
+// single relaxed atomic load.
+class FlightRecorder {
+ public:
+  struct Options {
+    std::string dir;                   // destination; empty keeps disarmed
+    int max_dumps = 8;                 // lifetime cap per process
+    double min_interval_seconds = 2.0;  // between consecutive dumps
+    // OnDeadlineExceeded() dumps once `burst_threshold` events land within
+    // `burst_window_seconds`.
+    uint64_t burst_threshold = 32;
+    double burst_window_seconds = 1.0;
+  };
+
+  static constexpr size_t kNoteCapacity = 256;   // annotation ring size
+  static constexpr size_t kMaxDumpSpans = 2048;  // newest spans per dump
+
+  static FlightRecorder& Global();
+
+  // Enables the recorder. Safe to call again to re-point `dir` (counters
+  // and the note ring carry over).
+  void Arm(Options options);
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Appends a free-form annotation ("snapshot loaded", "replay started") to
+  // the ring; the newest kNoteCapacity survive into the next dump. No-op
+  // while disarmed.
+  void Note(std::string_view event);
+
+  // Trigger hooks. Both Note() the event and then dump, subject to rate
+  // limiting (OnDeadlineExceeded only once the burst threshold is crossed).
+  void OnFault(std::string_view point);
+  void OnDeadlineExceeded();
+
+  // Unconditional dump (still counts toward max_dumps; FailedPrecondition
+  // while disarmed or after the cap; ResourceExhausted inside the
+  // rate-limit interval unless `force`).
+  util::Status DumpNow(std::string_view reason, bool force = false);
+
+  // Best-effort dump on SIGSEGV/SIGABRT/SIGBUS, then re-raise the default
+  // disposition so exit codes/cores are unchanged. Idempotent.
+  void InstallSignalHandlers();
+
+  // Path of the most recent successful dump ("" if none yet).
+  std::string last_dump_path() const;
+  uint64_t dump_count() const {
+    return dumps_written_.load(std::memory_order_relaxed);
+  }
+
+  // Disarms and clears notes, counters, and rate-limit state.
+  void ResetForTesting();
+
+ private:
+  std::string BuildDumpJson(std::string_view reason);
+
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> dumps_written_{0};
+
+  // Burst detection: count deadline-exceeded events inside a window keyed
+  // by its start time; a new window resets the count.
+  std::atomic<int64_t> burst_window_start_ns_{0};
+  std::atomic<uint64_t> burst_count_{0};
+
+  mutable std::mutex mutex_;  // options, notes, dump serialization
+  Options options_;
+  std::vector<std::string> notes_;
+  size_t next_note_ = 0;  // ring cursor once notes_ is full
+  int64_t last_dump_ns_ = 0;
+  std::string last_dump_path_;
+};
+
+}  // namespace hosr::obs
+
+#endif  // HOSR_OBS_FLIGHT_H_

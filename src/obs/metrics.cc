@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/context.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace hosr::obs {
@@ -44,7 +46,15 @@ double Histogram::BucketUpperBound(int i) {
 }
 
 void Histogram::Observe(double value) {
-  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  const int bucket = BucketFor(value);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  // Exemplar capture: last in-scope observation wins the bucket's slot.
+  // One TLS read when no request context is installed.
+  if (const uint64_t trace_id = CurrentTraceId(); trace_id != 0) {
+    exemplars_[bucket].value.store(value, std::memory_order_relaxed);
+    exemplars_[bucket].trace_id.exchange(trace_id,
+                                         std::memory_order_relaxed);
+  }
   AtomicAddDouble(&sum_, value);
   // First observation seeds min/max; later ones CAS toward the extremes.
   if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
@@ -64,12 +74,43 @@ std::vector<uint64_t> Histogram::BucketSnapshot() const {
   return snapshot;
 }
 
+Exemplar Histogram::ExemplarFor(int i) const {
+  Exemplar exemplar;
+  exemplar.trace_id = exemplars_[i].trace_id.load(std::memory_order_relaxed);
+  exemplar.value = exemplars_[i].value.load(std::memory_order_relaxed);
+  return exemplar;
+}
+
 void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  for (auto& slot : exemplars_) {
+    slot.trace_id.store(0, std::memory_order_relaxed);
+    slot.value.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.ends_with("_total")) return false;  // the type already says so
+  int segments = 0;
+  size_t start = 0;
+  while (start <= name.size()) {
+    const size_t end = std::min(name.find('/', start), name.size());
+    const std::string_view segment = name.substr(start, end - start);
+    if (segment.empty() || segment[0] < 'a' || segment[0] > 'z') return false;
+    for (const char c : segment) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                      c == '_';
+      if (!ok) return false;
+    }
+    ++segments;
+    if (end == name.size()) break;
+    start = end + 1;
+  }
+  return segments >= 2 && segments <= 3;
 }
 
 Registry& Registry::Global() {
@@ -80,6 +121,8 @@ Registry& Registry::Global() {
 }
 
 Counter* Registry::GetCounter(std::string_view name) {
+  HOSR_CHECK(IsValidMetricName(name))
+      << "metric name \"" << name << "\" violates subsystem/verb_unit";
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
@@ -90,6 +133,8 @@ Counter* Registry::GetCounter(std::string_view name) {
 }
 
 Gauge* Registry::GetGauge(std::string_view name) {
+  HOSR_CHECK(IsValidMetricName(name))
+      << "metric name \"" << name << "\" violates subsystem/verb_unit";
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
@@ -99,6 +144,8 @@ Gauge* Registry::GetGauge(std::string_view name) {
 }
 
 Histogram* Registry::GetHistogram(std::string_view name) {
+  HOSR_CHECK(IsValidMetricName(name))
+      << "metric name \"" << name << "\" violates subsystem/verb_unit";
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
@@ -108,32 +155,39 @@ Histogram* Registry::GetHistogram(std::string_view name) {
   return it->second.get();
 }
 
+std::string JsonEscapeString(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out.append(util::StrFormat("\\u%04x", c));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 namespace {
 
 void AppendJsonString(std::string_view text, std::string* out) {
   out->push_back('"');
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out->append("\\\"");
-        break;
-      case '\\':
-        out->append("\\\\");
-        break;
-      case '\n':
-        out->append("\\n");
-        break;
-      case '\t':
-        out->append("\\t");
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out->append(util::StrFormat("\\u%04x", c));
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
+  out->append(JsonEscapeString(text));
   out->push_back('"');
 }
 
@@ -194,9 +248,20 @@ std::string Registry::ToJson() const {
       first_bucket = false;
       json.append("{\"le\": ");
       AppendJsonNumber(Histogram::BucketUpperBound(i), &json);
-      json.append(util::StrFormat(", \"count\": %llu}",
+      json.append(util::StrFormat(", \"count\": %llu",
                                   static_cast<unsigned long long>(
                                       buckets[i])));
+      // Exemplar: the trace id of a real request that landed in this
+      // bucket, resolvable against /tracez (docs/OBSERVABILITY.md).
+      if (const Exemplar exemplar = histogram->ExemplarFor(i);
+          exemplar.trace_id != 0) {
+        json.append(util::StrFormat(
+            ", \"exemplar\": {\"trace_id\": %llu, \"value\": ",
+            static_cast<unsigned long long>(exemplar.trace_id)));
+        AppendJsonNumber(exemplar.value, &json);
+        json.push_back('}');
+      }
+      json.push_back('}');
     }
     json.append("]}");
   }

@@ -43,11 +43,27 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+// One observation that landed in a histogram bucket while a request
+// context was installed: the request's trace id plus the observed value.
+// trace_id == 0 means the slot is empty.
+struct Exemplar {
+  uint64_t trace_id = 0;
+  double value = 0.0;
+};
+
 // Distribution with fixed log-scale (power-of-two) buckets covering
 // [2^kMinExp, 2^(kMaxExp+1)): bucket i holds values in
 // [2^(kMinExp+i), 2^(kMinExp+i+1)). Non-positive values and underflow land
 // in bucket 0; overflow lands in the last bucket. Observe() is wait-free on
 // the bucket count and uses a short CAS loop for sum/min/max.
+//
+// Exemplars: every bucket carries one lock-free last-writer-wins exemplar
+// slot. When Observe() runs inside a request scope (obs::CurrentTraceId()
+// != 0) the bucket's slot is overwritten with that request's trace id and
+// value, so tail buckets always name a real recent offending request. The
+// id and value are separate atomics — two concurrent writers to one bucket
+// may interleave (id from one, value from the other), which is acceptable:
+// both belong to real requests that landed in the same bucket.
 class Histogram {
  public:
   static constexpr int kMinExp = -30;  // ~1e-9: sub-microsecond latencies
@@ -68,15 +84,37 @@ class Histogram {
   static int BucketFor(double value);
 
   std::vector<uint64_t> BucketSnapshot() const;
+
+  // The exemplar recorded for bucket `i`; trace_id == 0 when no in-scope
+  // observation has landed there since the last Reset().
+  Exemplar ExemplarFor(int i) const;
+
   void Reset();
 
  private:
+  struct ExemplarSlot {
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<double> value{0.0};
+  };
+
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  ExemplarSlot exemplars_[kNumBuckets] = {};
 };
+
+// The documented `subsystem/verb_unit` naming convention
+// (docs/OBSERVABILITY.md), enforced at registration time: 2 or 3
+// slash-separated segments, each `[a-z][a-z0-9_]*`, and no redundant
+// `_total` suffix (the counter type already means "total"). Registration
+// with an invalid name is a programming error and CHECK-fails.
+bool IsValidMetricName(std::string_view name);
+
+// Escapes `text` for embedding inside a JSON string literal (surrounding
+// quotes not included). Shared by every obs JSON emitter.
+std::string JsonEscapeString(std::string_view text);
 
 // Process-wide named-metric registry. Lookup takes a mutex and returns a
 // pointer that stays valid for the life of the process, so callers resolve

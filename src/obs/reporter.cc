@@ -26,6 +26,9 @@ StatsReporter::StatsReporter(Options options) : options_(std::move(options)) {
 StatsReporter::~StatsReporter() { Stop(); }
 
 void StatsReporter::Snapshot() {
+  // WriteFileAtomic's temp name is path+pid, so two in-process snapshots of
+  // the same path would collide mid-rename without this lock.
+  std::lock_guard<std::mutex> snapshot_lock(snapshot_mutex_);
   if (!options_.metrics_path.empty()) {
     if (auto status = WriteMetricsJson(options_.metrics_path); !status.ok()) {
       HOSR_LOG(Warning) << "metrics snapshot failed: " << status;
@@ -40,15 +43,19 @@ void StatsReporter::Snapshot() {
 }
 
 void StatsReporter::Stop() {
+  // Holding stop_mutex_ across join+flush means a Stop() racing another
+  // Stop() blocks here until the winner's final snapshot is on disk — a
+  // loser returning early would break the shutdown-flush guarantee.
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (stopped_) return;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopped_) return;
-    stopped_ = true;
     stop_requested_ = true;
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
   Snapshot();
+  stopped_ = true;
 }
 
 void StatsReporter::Loop() {

@@ -21,6 +21,12 @@ util::Status WriteMetricsJson(const std::string& path);
 //    Snapshot() itself (e.g. once per training epoch).
 // Every snapshot rewrites `metrics_path` (when set) so the on-disk JSON is
 // always the latest state, and optionally logs a one-line summary.
+//
+// Shutdown-flush guarantee: any Stop() call — including one racing another
+// Stop() or the destructor — returns only after a final Snapshot() that
+// started at or after the Stop() call has completed. Metric updates made
+// before Stop() is invoked are therefore always present in the on-disk
+// artifact once Stop() returns; no samples are lost to shutdown.
 class StatsReporter {
  public:
   struct Options {
@@ -35,10 +41,13 @@ class StatsReporter {
   StatsReporter(const StatsReporter&) = delete;
   StatsReporter& operator=(const StatsReporter&) = delete;
 
+  // Safe to call from any thread; concurrent snapshots serialize on an
+  // internal mutex so two writers never race on the same temp file.
   void Snapshot();
 
-  // Joins the background thread (idempotent). A final Snapshot() runs first
-  // so the artifact reflects the complete run.
+  // Joins the background thread and writes a final snapshot (idempotent and
+  // safe to call concurrently: every caller blocks until that flush is
+  // done, not just the first one).
   void Stop();
 
  private:
@@ -48,7 +57,11 @@ class StatsReporter {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_requested_ = false;
+  // Serializes the join-then-flush sequence across concurrent Stop() calls.
+  std::mutex stop_mutex_;
   bool stopped_ = false;
+  // Serializes Snapshot() bodies (atomic-write temp files share a name).
+  std::mutex snapshot_mutex_;
   std::thread thread_;
 };
 

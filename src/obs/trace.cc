@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -23,6 +24,7 @@ struct TraceEvent {
   const char* name;
   int64_t begin_ns;
   int64_t end_ns;
+  uint64_t trace_id;
 };
 
 // Per-thread span storage. Writes come only from the owning thread, reads
@@ -37,13 +39,14 @@ class ThreadTraceBuffer {
     events_.reserve(kCapacity);
   }
 
-  void Record(const char* name, int64_t begin_ns, int64_t end_ns) {
+  void Record(const char* name, int64_t begin_ns, int64_t end_ns,
+              uint64_t trace_id) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (events_.size() < kCapacity) {
-      events_.push_back({name, begin_ns, end_ns});
+      events_.push_back({name, begin_ns, end_ns, trace_id});
     } else {
       // Ring overwrite: keep the newest spans, count what was lost.
-      events_[next_overwrite_] = {name, begin_ns, end_ns};
+      events_[next_overwrite_] = {name, begin_ns, end_ns, trace_id};
       next_overwrite_ = (next_overwrite_ + 1) % kCapacity;
       ++dropped_;
     }
@@ -52,7 +55,28 @@ class ThreadTraceBuffer {
   void AppendSnapshot(std::vector<SpanRecord>* out) const {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const TraceEvent& event : events_) {
-      out->push_back({event.name, event.begin_ns, event.end_ns, tid_});
+      out->push_back({event.name, event.begin_ns, event.end_ns, tid_,
+                      event.trace_id});
+    }
+  }
+
+  // Appends only this ring's `limit` most recently recorded spans. Record
+  // order is the ring order ending just before next_overwrite_, so the
+  // newest slice is a copy, not a search — NewestSpans runs per /tracez
+  // poll and per flight dump while serving continues, and copying a full
+  // 16k ring per thread per poll is measurable on small hosts.
+  void AppendNewest(size_t limit, std::vector<SpanRecord>* out) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const size_t n = std::min(limit, events_.size());
+    if (n == 0) return;
+    // Oldest-to-newest: the slot before next_overwrite_ holds the newest
+    // record (when not yet full, next_overwrite_ is 0 == wrap to end()).
+    size_t i = (next_overwrite_ + events_.size() - n) % events_.size();
+    for (size_t k = 0; k < n; ++k) {
+      const TraceEvent& event = events_[i];
+      out->push_back({event.name, event.begin_ns, event.end_ns, tid_,
+                      event.trace_id});
+      i = (i + 1) % events_.size();
     }
   }
 
@@ -114,8 +138,9 @@ const char* IndexedSpanName(const char* prefix, size_t index) {
   return InternName(util::StrFormat("%s%zu", prefix, index));
 }
 
-void RecordSpan(const char* name, int64_t begin_ns, int64_t end_ns) {
-  LocalBuffer().Record(name, begin_ns, end_ns);
+void RecordSpan(const char* name, int64_t begin_ns, int64_t end_ns,
+                uint64_t trace_id) {
+  LocalBuffer().Record(name, begin_ns, end_ns, trace_id);
 }
 
 std::vector<SpanRecord> SnapshotSpans() {
@@ -123,6 +148,34 @@ std::vector<SpanRecord> SnapshotSpans() {
   BufferList& list = Buffers();
   std::lock_guard<std::mutex> lock(list.mutex);
   for (const auto& buffer : list.buffers) buffer->AppendSnapshot(&spans);
+  return spans;
+}
+
+std::vector<SpanRecord> NewestSpans(size_t limit) {
+  // Newest spans win the bounded slice, returned chronologically so the
+  // result ends at "now". This runs while full-rate serving continues
+  // (/tracez polls, flight dumps), so select the tail in O(n) with
+  // nth_element and only sort the kept slice — a full sort of several
+  // 16k-span rings per poll is measurable on small hosts.
+  std::vector<SpanRecord> spans;
+  {
+    // Only the newest `limit` of each ring can survive the global cut, so
+    // copy just those instead of every ring in full (threads × 16k spans).
+    BufferList& list = Buffers();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    for (const auto& buffer : list.buffers) {
+      buffer->AppendNewest(limit, &spans);
+    }
+  }
+  const auto ends_earlier = [](const SpanRecord& a, const SpanRecord& b) {
+    return a.end_ns < b.end_ns;
+  };
+  if (spans.size() > limit) {
+    const auto cut = spans.end() - static_cast<ptrdiff_t>(limit);
+    std::nth_element(spans.begin(), cut, spans.end(), ends_earlier);
+    spans.erase(spans.begin(), cut);
+  }
+  std::sort(spans.begin(), spans.end(), ends_earlier);
   return spans;
 }
 
@@ -140,8 +193,7 @@ void ClearTrace() {
   for (const auto& buffer : list.buffers) buffer->Clear();
 }
 
-std::string TraceToJson() {
-  const std::vector<SpanRecord> spans = SnapshotSpans();
+std::string SpansToJson(const std::vector<SpanRecord>& spans) {
   std::string json = "{\"traceEvents\": [";
   bool first = true;
   for (const SpanRecord& span : spans) {
@@ -150,13 +202,21 @@ std::string TraceToJson() {
     // Complete ("X") events; ts/dur are microseconds with ns precision.
     json.append(util::StrFormat(
         "\n  {\"name\": \"%s\", \"cat\": \"hosr\", \"ph\": \"X\", "
-        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u",
         span.name.c_str(), static_cast<double>(span.begin_ns) / 1e3,
         static_cast<double>(span.end_ns - span.begin_ns) / 1e3, span.tid));
+    if (span.trace_id != 0) {
+      json.append(util::StrFormat(
+          ", \"args\": {\"trace_id\": %llu}",
+          static_cast<unsigned long long>(span.trace_id)));
+    }
+    json.push_back('}');
   }
   json.append("\n], \"displayTimeUnit\": \"ms\"}\n");
   return json;
 }
+
+std::string TraceToJson() { return SpansToJson(SnapshotSpans()); }
 
 util::Status WriteTraceJson(const std::string& path) {
   // Atomic: a crash mid-flush leaves the previous trace intact rather

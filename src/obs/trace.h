@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 
@@ -43,17 +44,23 @@ const char* InternName(std::string_view name);
 const char* IndexedSpanName(const char* prefix, size_t index);
 
 // Records one closed span into the calling thread's ring buffer.
-void RecordSpan(const char* name, int64_t begin_ns, int64_t end_ns);
+// `trace_id` associates the span with a request (0 = none).
+void RecordSpan(const char* name, int64_t begin_ns, int64_t end_ns,
+                uint64_t trace_id = 0);
 
 // RAII span. `name` must point to storage that outlives trace export: a
-// string literal or an InternName() result.
+// string literal or an InternName() result. The span inherits the calling
+// thread's request context (obs::CurrentTraceId()) at destruction time, so
+// all spans closed inside a ScopedRequestContext share its trace id.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name)
       : name_(Enabled() ? name : nullptr),
         begin_ns_(name_ != nullptr ? NowNanos() : 0) {}
   ~ScopedSpan() {
-    if (name_ != nullptr) RecordSpan(name_, begin_ns_, NowNanos());
+    if (name_ != nullptr) {
+      RecordSpan(name_, begin_ns_, NowNanos(), CurrentTraceId());
+    }
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -74,19 +81,32 @@ struct SpanRecord {
   int64_t begin_ns = 0;
   int64_t end_ns = 0;
   uint32_t tid = 0;
+  // Request the span worked for; 0 when recorded outside a request scope.
+  uint64_t trace_id = 0;
 };
 
 // Copies every buffered span out of all per-thread ring buffers. Intended
 // for tests and export; takes each buffer's lock briefly.
 std::vector<SpanRecord> SnapshotSpans();
 
+// SnapshotSpans bounded to the `limit` newest spans (by end time), sorted
+// chronologically. The per-thread rings hold 16k spans each, so a full
+// snapshot can run to multi-MB JSON — pollable surfaces (/tracez, flight
+// dumps) serve this bounded slice instead.
+std::vector<SpanRecord> NewestSpans(size_t limit);
+
 // Total spans dropped to ring-buffer wrap-around since the last clear.
 uint64_t DroppedSpanCount();
 
 // Chrome trace_event JSON ({"traceEvents": [...]} with "ph": "X" complete
 // events, microsecond timestamps) — loads directly in chrome://tracing and
-// https://ui.perfetto.dev.
+// https://ui.perfetto.dev. Spans recorded inside a request scope carry
+// "args": {"trace_id": N}, matching histogram exemplars.
 std::string TraceToJson();
+
+// The same Chrome trace_event encoding over an explicit span list (the
+// flight recorder dumps a bounded most-recent subset through this).
+std::string SpansToJson(const std::vector<SpanRecord>& spans);
 
 util::Status WriteTraceJson(const std::string& path);
 

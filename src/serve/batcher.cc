@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/admin_server.h"
+#include "obs/context.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -56,6 +59,7 @@ std::future<util::StatusOr<ServeResponse>> RequestBatcher::Submit(
       // queueing delay; blocking here would just move the overload into
       // every client thread.
       HOSR_COUNTER("serve/shed").Increment();
+      obs::HealthTracker::Global().ReportOutcome(/*failed=*/true);
       promise.set_value(util::Status::ResourceExhausted(
           "request queue full (" + std::to_string(options_.queue_capacity) +
           " pending)"));
@@ -64,10 +68,10 @@ std::future<util::StatusOr<ServeResponse>> RequestBatcher::Submit(
     queue_.push_back(Request{user, k, deadline,
                              next_token_.fetch_add(1,
                                                    std::memory_order_relaxed),
-                             std::move(promise)});
+                             obs::CurrentContext(), std::move(promise)});
   }
   work_available_.notify_one();
-  HOSR_COUNTER("serve/batcher_requests_total").Increment();
+  HOSR_COUNTER("serve/batcher_requests").Increment();
   return future;
 }
 
@@ -135,6 +139,8 @@ void RequestBatcher::ExecuteBatch(std::vector<Request> batch) {
     // time on an answer nobody is waiting for starves live requests.
     if (r.deadline != kNoDeadline && now >= r.deadline) {
       HOSR_COUNTER("serve/deadline_exceeded").Increment();
+      obs::HealthTracker::Global().ReportOutcome(/*failed=*/true);
+      obs::FlightRecorder::Global().OnDeadlineExceeded();
       r.promise.set_value(
           util::Status::DeadlineExceeded("request expired in queue"));
       continue;
@@ -157,6 +163,10 @@ void RequestBatcher::ExecuteBatch(std::vector<Request> batch) {
       [&](size_t begin, size_t end) {
         for (size_t idx = begin; idx < end; ++idx) {
           Request& r = batch[misses[idx]];
+          // Cross-thread handoff: the submitter's context rides in the
+          // Request and is re-installed here so the executor's spans and
+          // latency exemplars carry the original trace id.
+          obs::ScopedRequestContext request_scope(r.context);
           auto response = executor_.Execute(r.user, r.k, r.token);
           if (response.ok() && !response->degraded &&
               options_.cache != nullptr) {

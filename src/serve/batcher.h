@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/context.h"
 #include "serve/cache.h"
 #include "serve/engine.h"
 #include "serve/hardened.h"
@@ -30,6 +31,11 @@ namespace hosr::serve {
 // of burning engine time. On Stop() (or destruction) every pending future
 // is completed: queued requests drain with Unavailable, so no caller can
 // hang on a promise the dispatcher will never fulfill.
+//
+// Tracing: Submit() captures the caller's obs::RequestContext and the pool
+// worker that eventually executes the request re-installs it, so the
+// request's spans and exemplars share one trace id across the thread
+// handoff (docs/OBSERVABILITY.md "Request-scoped tracing").
 class RequestBatcher {
  public:
   struct Options {
@@ -76,6 +82,9 @@ class RequestBatcher {
     uint32_t k;
     Deadline deadline;
     uint64_t token;
+    // The submitter's request context, re-installed on the executing
+    // worker so spans/exemplars keep the request's trace id.
+    obs::RequestContext context;
     std::promise<util::StatusOr<ServeResponse>> promise;
   };
 

@@ -30,12 +30,12 @@ std::optional<std::vector<uint32_t>> ResultCache::Get(uint32_t user,
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
-    HOSR_COUNTER("serve/cache_misses_total").Increment();
+    HOSR_COUNTER("serve/cache_misses").Increment();
     return std::nullopt;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   ++shard.hits;
-  HOSR_COUNTER("serve/cache_hits_total").Increment();
+  HOSR_COUNTER("serve/cache_hits").Increment();
   return it->second->second;
 }
 
@@ -56,7 +56,7 @@ void ResultCache::Put(uint32_t user, uint32_t k,
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     ++shard.evictions;
-    HOSR_COUNTER("serve/cache_evictions_total").Increment();
+    HOSR_COUNTER("serve/cache_evictions").Increment();
   }
 }
 

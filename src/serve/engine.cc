@@ -62,6 +62,7 @@ util::StatusOr<RankedItems> InferenceEngine::TryTopKForUser(
 
 util::StatusOr<RankedItems> InferenceEngine::TopKImpl(
     uint32_t user, uint32_t k, Deadline deadline, uint64_t fault_token) const {
+  HOSR_TRACE_SPAN("serve/query");
   const util::WallTimer timer;
 
   if (fault_token != kNoFaultToken) {
@@ -116,7 +117,7 @@ util::StatusOr<RankedItems> InferenceEngine::TopKImpl(
   }
   auto result = acc.Take();
 
-  HOSR_COUNTER("serve/queries_total").Increment();
+  HOSR_COUNTER("serve/queries").Increment();
   HOSR_HISTOGRAM("serve/query_latency_us")
       .Observe(timer.ElapsedMillis() * 1000.0);
   return result;

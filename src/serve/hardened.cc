@@ -3,7 +3,10 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/admin_server.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace hosr::serve {
@@ -36,6 +39,23 @@ HardenedExecutor::HardenedExecutor(const InferenceEngine* engine,
 util::StatusOr<ServeResponse> HardenedExecutor::Execute(uint32_t user,
                                                         uint32_t k,
                                                         uint64_t token) const {
+  HOSR_TRACE_SPAN("serve/request");
+  const int64_t begin_ns = obs::NowNanos();
+  util::StatusOr<ServeResponse> result = ExecuteInternal(user, k, token);
+  // Observe() inherits the caller's request context, so tail buckets of
+  // this histogram carry the trace ids of real slow requests as exemplars.
+  HOSR_HISTOGRAM("serve/request_latency_ms")
+      .Observe(static_cast<double>(obs::NowNanos() - begin_ns) / 1e6);
+  obs::HealthTracker::Global().ReportOutcome(!result.ok());
+  if (!result.ok() &&
+      result.status().code() == util::StatusCode::kDeadlineExceeded) {
+    obs::FlightRecorder::Global().OnDeadlineExceeded();
+  }
+  return result;
+}
+
+util::StatusOr<ServeResponse> HardenedExecutor::ExecuteInternal(
+    uint32_t user, uint32_t k, uint64_t token) const {
   const Deadline wall_deadline =
       options_.use_wall_clock && options_.deadline_ms > 0.0
           ? std::chrono::steady_clock::now() +

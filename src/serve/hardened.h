@@ -50,6 +50,11 @@ struct HardenedOptions {
 //      propagates the engine's last status.
 //
 // Outcome counters: serve/deadline_exceeded, serve/degraded, serve/retries.
+// Each Execute() also records a "serve/request" span and an observation in
+// the serve/request_latency_ms histogram (carrying the caller's request
+// context as an exemplar), reports the outcome to obs::HealthTracker
+// (deadline-exceeded and hard errors count against health), and notifies
+// the flight recorder on deadline-exceeded so bursts trigger a dump.
 //
 // Determinism: the retry schedule is seeded by (seed, token) and fault
 // decisions by (fault seed, token, attempt), so with use_wall_clock off a
@@ -67,6 +72,11 @@ class HardenedExecutor {
   const HardenedOptions& options() const { return options_; }
 
  private:
+  // The un-instrumented pipeline; Execute() wraps it with span/latency/
+  // health/flight-recorder bookkeeping.
+  util::StatusOr<ServeResponse> ExecuteInternal(uint32_t user, uint32_t k,
+                                                uint64_t token) const;
+
   const InferenceEngine* engine_;
   HardenedOptions options_;
 };

@@ -9,161 +9,13 @@
 #include "obs/metrics.h"
 #include "obs/reporter.h"
 #include "obs/trace.h"
+#include "json_validator_test_util.h"
 #include "util/thread_pool.h"
 
 namespace hosr::obs {
 namespace {
 
-// --- Minimal strict-JSON validator (no third-party JSON dependency) ---------
-// Recursive-descent over the RFC 8259 grammar; returns false on any syntax
-// error or trailing garbage. Enough to assert our exports are well-formed.
-
-class JsonValidator {
- public:
-  explicit JsonValidator(std::string_view text) : text_(text) {}
-
-  bool Validate() {
-    SkipWs();
-    if (!Value()) return false;
-    SkipWs();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool Value() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{':
-        return Object();
-      case '[':
-        return Array();
-      case '"':
-        return String();
-      case 't':
-        return Literal("true");
-      case 'f':
-        return Literal("false");
-      case 'n':
-        return Literal("null");
-      default:
-        return Number();
-    }
-  }
-
-  bool Object() {
-    ++pos_;  // '{'
-    SkipWs();
-    if (Peek() == '}') return ++pos_, true;
-    while (true) {
-      SkipWs();
-      if (!String()) return false;
-      SkipWs();
-      if (Peek() != ':') return false;
-      ++pos_;
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (Peek() == '}') return ++pos_, true;
-      return false;
-    }
-  }
-
-  bool Array() {
-    ++pos_;  // '['
-    SkipWs();
-    if (Peek() == ']') return ++pos_, true;
-    while (true) {
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (Peek() == ']') return ++pos_, true;
-      return false;
-    }
-  }
-
-  bool String() {
-    if (Peek() != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '"') return ++pos_, true;
-      if (static_cast<unsigned char>(c) < 0x20) return false;
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return false;
-        const char esc = text_[pos_];
-        if (esc == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
-              return false;
-            }
-          }
-        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
-                   std::string_view::npos) {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    return false;
-  }
-
-  bool Number() {
-    const size_t start = pos_;
-    if (Peek() == '-') ++pos_;
-    if (!DigitRun()) return false;
-    if (Peek() == '.') {
-      ++pos_;
-      if (!DigitRun()) return false;
-    }
-    if (Peek() == 'e' || Peek() == 'E') {
-      ++pos_;
-      if (Peek() == '+' || Peek() == '-') ++pos_;
-      if (!DigitRun()) return false;
-    }
-    return pos_ > start;
-  }
-
-  bool DigitRun() {
-    const size_t start = pos_;
-    while (pos_ < text_.size() &&
-           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool Literal(std::string_view expected) {
-    if (text_.substr(pos_, expected.size()) != expected) return false;
-    pos_ += expected.size();
-    return true;
-  }
-
-  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
-bool IsValidJson(std::string_view text) {
-  return JsonValidator(text).Validate();
-}
+using hosr::test_util::IsValidJson;
 
 class ObsTest : public ::testing::Test {
  protected:

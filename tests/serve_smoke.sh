@@ -40,9 +40,9 @@ assert summary["cache"]["hits"] > 0, "expected nonzero cache hits"
 assert 0.0 < summary["cache"]["hit_rate"] <= 1.0, summary
 
 names = metrics["metrics"].keys()
-assert "serve/queries_total" in names, sorted(names)
-assert "serve/cache_hits_total" in names, sorted(names)
-assert metrics["metrics"]["serve/cache_hits_total"]["value"] > 0, metrics
+assert "serve/queries" in names, sorted(names)
+assert "serve/cache_hits" in names, sorted(names)
+assert metrics["metrics"]["serve/cache_hits"]["value"] > 0, metrics
 print("serve_smoke OK: qps=%.0f hit_rate=%.3f" %
       (summary["qps"], summary["cache"]["hit_rate"]))
 EOF

@@ -1,0 +1,181 @@
+// bench_diff — regression gate over two bench_metrics directories.
+//
+// run_benches.sh leaves one metrics JSON per bench in bench_metrics/
+// (--metrics_out schema: {"metrics": {"name": {"type": "gauge", ...}}}).
+// bench_diff compares every gauge that appears in both a baseline and a
+// candidate directory and prints per-gauge deltas:
+//
+//   bench_diff --baseline=DIR --candidate=DIR
+//             [--threshold_pct=10]   relative regression tolerance
+//             [--filter=SUBSTR]      only gauges whose name contains SUBSTR
+//
+// Direction is inferred from the metric name (docs/OBSERVABILITY.md units
+// convention): throughput-like gauges (_qps, _gops, _speedup,
+// _per_sec, _rate) regress when they DROP; latency/duration-like gauges
+// (_us, _ms, _seconds, _p50/_p95/_p99) regress when they RISE. Gauges with
+// no recognizable direction are reported but never gate.
+//
+// Exit status: 0 = no gauge regressed beyond --threshold_pct, 1 = at least
+// one did (making it usable directly as a CI gate), 2 = usage/IO error.
+#include <dirent.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/fileio.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace {
+
+using hosr::util::Flags;
+using hosr::util::ReadFileToString;
+using hosr::util::StrFormat;
+
+enum class Direction { kHigherIsBetter, kLowerIsBetter, kUnknown };
+
+Direction DirectionFor(const std::string& name) {
+  static const char* kHigher[] = {"_qps",   "_gops",  "_speedup", "_per_sec",
+                                  "_rate",  "_flops", "recall",   "_map",
+                                  "ndcg",   "precision"};
+  static const char* kLower[] = {"_us",      "_ms",  "_ns",  "_seconds",
+                                 "_p50",     "_p95", "_p99", "latency",
+                                 "_penalty"};
+  for (const char* suffix : kHigher) {
+    if (name.find(suffix) != std::string::npos) {
+      return Direction::kHigherIsBetter;
+    }
+  }
+  for (const char* suffix : kLower) {
+    if (name.find(suffix) != std::string::npos) {
+      return Direction::kLowerIsBetter;
+    }
+  }
+  return Direction::kUnknown;
+}
+
+// Pulls every {"type": "gauge", "value": V} entry out of a registry dump
+// without a full JSON parser: the emitter (Registry::ToJson) writes one
+// key per entry as `"name": {"type": "gauge", "value": N}`.
+std::map<std::string, double> ExtractGauges(const std::string& json) {
+  std::map<std::string, double> gauges;
+  const std::string marker = "{\"type\": \"gauge\", \"value\": ";
+  size_t pos = 0;
+  while ((pos = json.find(marker, pos)) != std::string::npos) {
+    // The gauge's name is the quoted key immediately before the marker:
+    // ... "kernels/bench/dot_d64_best_gops": {"type": "gauge", ...
+    const size_t colon = json.rfind(':', pos);
+    if (colon == std::string::npos) break;
+    const size_t name_end = json.rfind('"', colon);
+    const size_t name_begin =
+        name_end == std::string::npos ? std::string::npos
+                                      : json.rfind('"', name_end - 1);
+    if (name_begin == std::string::npos) {
+      pos += marker.size();
+      continue;
+    }
+    const std::string name =
+        json.substr(name_begin + 1, name_end - name_begin - 1);
+    const double value = std::strtod(json.c_str() + pos + marker.size(),
+                                     nullptr);
+    gauges[name] = value;
+    pos += marker.size();
+  }
+  return gauges;
+}
+
+std::vector<std::string> ListJsonFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  DIR* handle = opendir(dir.c_str());
+  if (handle == nullptr) return files;
+  while (const struct dirent* entry = readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name.size() > 5 && name.rfind(".json") == name.size() - 5) {
+      files.push_back(name);
+    }
+  }
+  closedir(handle);
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const std::string baseline_dir = flags.GetString("baseline", "");
+  const std::string candidate_dir = flags.GetString("candidate", "");
+  if (baseline_dir.empty() || candidate_dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_diff --baseline=DIR --candidate=DIR "
+                 "[--threshold_pct=10] [--filter=SUBSTR]\n");
+    return 2;
+  }
+  const double threshold_pct = flags.GetDouble("threshold_pct", 10.0);
+  const std::string filter = flags.GetString("filter", "");
+
+  const std::vector<std::string> files = ListJsonFiles(baseline_dir);
+  if (files.empty()) {
+    std::fprintf(stderr, "error: no .json files in %s\n",
+                 baseline_dir.c_str());
+    return 2;
+  }
+
+  size_t compared = 0;
+  size_t regressions = 0;
+  for (const std::string& file : files) {
+    auto baseline_json = ReadFileToString(baseline_dir + "/" + file);
+    auto candidate_json = ReadFileToString(candidate_dir + "/" + file);
+    if (!baseline_json.ok()) continue;
+    if (!candidate_json.ok()) {
+      std::printf("%-28s missing from candidate dir, skipped\n",
+                  file.c_str());
+      continue;
+    }
+    const auto baseline = ExtractGauges(baseline_json.value());
+    const auto candidate = ExtractGauges(candidate_json.value());
+    for (const auto& [name, base_value] : baseline) {
+      if (!filter.empty() && name.find(filter) == std::string::npos) {
+        continue;
+      }
+      const auto it = candidate.find(name);
+      if (it == candidate.end()) continue;
+      const double cand_value = it->second;
+      ++compared;
+      const double delta_pct =
+          base_value != 0.0
+              ? (cand_value - base_value) / std::fabs(base_value) * 100.0
+              : (cand_value == 0.0 ? 0.0 : 100.0);
+      const Direction direction = DirectionFor(name);
+      bool regressed = false;
+      if (direction == Direction::kHigherIsBetter) {
+        regressed = delta_pct < -threshold_pct;
+      } else if (direction == Direction::kLowerIsBetter) {
+        regressed = delta_pct > threshold_pct;
+      }
+      if (regressed) ++regressions;
+      std::printf("%-14s %-44s %14.4g -> %14.4g  %+8.2f%%%s\n",
+                  file.c_str(), name.c_str(), base_value, cand_value,
+                  delta_pct,
+                  regressed ? "  REGRESSED"
+                            : (direction == Direction::kUnknown
+                                   ? "  (info only)"
+                                   : ""));
+    }
+  }
+
+  std::printf("compared %zu gauges, %zu regression%s beyond %.1f%%\n",
+              compared, regressions, regressions == 1 ? "" : "s",
+              threshold_pct);
+  if (compared == 0) {
+    std::fprintf(stderr,
+                 "error: no overlapping gauges between %s and %s\n",
+                 baseline_dir.c_str(), candidate_dir.c_str());
+    return 2;
+  }
+  return regressions > 0 ? 1 : 0;
+}

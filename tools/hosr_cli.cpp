@@ -6,6 +6,8 @@
 //   train     --data=DIR --checkpoint=FILE [--model=HOSR] [--dim=N]
 //             [--epochs=N] [--lr=F] [--layers=N] [--early-stop]
 //             [--snapshot_out=FILE] [--train_state=FILE] [--resume]
+//             [--admin_port=N]  live /metricsz, /healthz, /varz on
+//                               127.0.0.1:N while training runs
 //       Train a model on an on-disk dataset and save its parameters.
 //       --snapshot_out additionally freezes the trained model into a
 //       serving snapshot for hosr_serve (docs/SERVING.md).
@@ -35,6 +37,7 @@
 // capture a model: evaluation is reproducible across processes.
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "autograd/checkpoint.h"
@@ -47,6 +50,7 @@
 #include "kernels/kernels.h"
 #include "models/early_stopping.h"
 #include "models/trainer.h"
+#include "obs/admin_server.h"
 #include "obs/reporter.h"
 #include "serve/snapshot.h"
 #include "util/flags.h"
@@ -126,6 +130,22 @@ int RunTrain(const util::Flags& flags) {
   if (checkpoint.empty()) {
     std::fprintf(stderr, "train requires --checkpoint=FILE\n");
     return 2;
+  }
+
+  // Optional live admin endpoint for long training runs: watch loss gauges
+  // via /metricsz and liveness via /healthz while the job runs.
+  std::unique_ptr<obs::AdminServer> admin;
+  const int admin_port = static_cast<int>(flags.GetInt("admin_port", -1));
+  if (admin_port >= 0) {
+    admin = std::make_unique<obs::AdminServer>(
+        obs::AdminServer::Options{.port = admin_port});
+    if (auto status = admin->Start(); !status.ok()) return Fail(status);
+    admin->SetVar("binary", "hosr_cli train");
+    admin->SetVar("model", flags.GetString("model", "HOSR"));
+    admin->SetVar("dispatch_level", kernels::Active().name);
+    // Training has no serving probe; the data/model loading above is the
+    // readiness gate.
+    obs::HealthTracker::Global().SetReady(true);
   }
 
   models::TrainConfig config;

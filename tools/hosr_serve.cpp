@@ -27,6 +27,17 @@
 //              [--fault_spec=SPEC]         arm fault injection (e.g.
 //                                          engine.score:p=0.2)
 //              [--fault_seed=1]
+// live observability (docs/OBSERVABILITY.md):
+//              [--admin_port=N]            serve /metricsz /healthz /readyz
+//                                          /varz /tracez on 127.0.0.1:N
+//                                          (0 = kernel-assigned ephemeral)
+//              [--admin_port_file=FILE]    write the bound port (atomic) so
+//                                          scripts can find an ephemeral one
+//              [--flight_dir=DIR]          arm the flight recorder; dumps
+//                                          flight_*.json on injected faults
+//                                          and deadline-exceeded bursts
+//              [--admin_linger_s=0]        keep the admin endpoint up this
+//                                          long after the replay finishes
 // Every request resolves — never hangs — to one of five outcomes tallied in
 // the JSON report: ok, degraded (popularity fallback), deadline_exceeded,
 // shed (queue full), error. With --fault_spec the outcome of each request
@@ -46,6 +57,9 @@
 #include "data/io.h"
 #include "fault/fault.h"
 #include "kernels/kernels.h"
+#include "obs/admin_server.h"
+#include "obs/context.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/reporter.h"
 #include "obs/trace.h"
@@ -205,6 +219,59 @@ int main(int argc, char** argv) {
       std::move(snapshot).value(),
       dataset != nullptr ? &dataset->interactions : nullptr);
 
+  // Flight recorder: armed with a destination directory, it snapshots
+  // metrics + recent spans to flight_*.json on injected faults, on
+  // deadline-exceeded bursts, and on fatal signals.
+  const std::string flight_dir = flags.GetString("flight_dir", "");
+  if (!flight_dir.empty()) {
+    // A dump without spans answers nothing — arming implies capture, so
+    // post-mortems do not depend on also passing --trace_out.
+    obs::SetEnabled(true);
+    obs::FlightRecorder::Options flight_options;
+    flight_options.dir = flight_dir;
+    obs::FlightRecorder::Global().Arm(flight_options);
+    obs::FlightRecorder::Global().InstallSignalHandlers();
+    obs::FlightRecorder::Global().Note(util::StrFormat(
+        "snapshot loaded: %s (model %s, %ux%u dim %u)",
+        snapshot_path.c_str(), model_name.c_str(), num_users, num_items,
+        dim));
+  }
+
+  // Live admin endpoint. Readiness flips true only after the engine answers
+  // a real probe query, so /readyz == 200 means scoring actually works —
+  // not just that the process is up.
+  std::unique_ptr<obs::AdminServer> admin;
+  const int admin_port = static_cast<int>(flags.GetInt("admin_port", -1));
+  if (admin_port >= 0) {
+    obs::SetEnabled(true);  // /tracez is only useful with capture on
+    admin = std::make_unique<obs::AdminServer>(
+        obs::AdminServer::Options{.port = admin_port});
+    if (auto status = admin->Start(); !status.ok()) return Fail(status);
+    admin->SetVar("binary", "hosr_serve");
+    admin->SetVar("model", model_name);
+    admin->SetVar("snapshot", snapshot_path);
+    admin->SetVar("dispatch_level", kernels::Active().name);
+    admin->SetVar("forced_scalar", kernels::ForcedScalar() ? "true" : "false");
+    admin->SetVar("dims", util::StrFormat("%ux%u dim %u", num_users,
+                                          num_items, dim));
+    const std::string port_file = flags.GetString("admin_port_file", "");
+    if (!port_file.empty()) {
+      if (auto status = util::WriteFileAtomic(
+              port_file, util::StrFormat("%d\n", admin->port()));
+          !status.ok()) {
+        return Fail(status);
+      }
+    }
+    auto probe = engine.TryTopKForUser(0, 1, serve::kNoDeadline,
+                                       serve::kNoFaultToken);
+    if (probe.ok()) {
+      obs::HealthTracker::Global().SetReady(true);
+    } else {
+      HOSR_LOG(Warning) << "readiness probe failed, /readyz stays 503: "
+                        << probe.status();
+    }
+  }
+
   // Request stream: scripted file or synthetic (skewed) sampling.
   const auto default_k = static_cast<uint32_t>(flags.GetInt("k", 10));
   std::vector<Request> requests;
@@ -310,6 +377,12 @@ int main(int argc, char** argv) {
                 std::chrono::duration<double>(per_thread_period_s));
           }
           const Request& r = requests[i];
+          // One trace id per request (stream index + 1 so 0 stays "none"):
+          // every span below — and the batcher workers, via the context
+          // captured in Submit() — tags with it, and latency-histogram
+          // exemplars resolve back to it in /tracez.
+          const obs::ScopedRequestContext request_scope(
+              obs::RequestContext{static_cast<uint64_t>(i) + 1, r.user, r.k});
           const auto start = std::chrono::steady_clock::now();
           util::StatusOr<serve::ServeResponse> response =
               util::Status::Internal("unreached");
@@ -413,6 +486,15 @@ int main(int argc, char** argv) {
     }
   }
   if (batcher != nullptr) batcher->Stop();
+  if (admin != nullptr) {
+    // Optional grace period so scripts can probe the endpoints after the
+    // replay finished (summary already printed above).
+    const double linger_s = flags.GetDouble("admin_linger_s", 0.0);
+    if (linger_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(linger_s));
+    }
+    admin->Stop();
+  }
   obs::FlushArtifacts();
   return 0;
 }
