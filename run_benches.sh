@@ -4,10 +4,31 @@
 # Each bench also dumps its metrics registry to bench_metrics/<name>.json
 # (a perf-trajectory artifact for comparing runs across PRs); the script
 # fails loudly if any dump is missing or is not parseable JSON.
+#
+# Opt-in regression gate: pass --baseline_dir=<old bench_metrics> to diff
+# this run against a previous one with tools/bench_diff after all benches
+# finish — the script then exits non-zero if any shared gauge regressed
+# beyond --threshold_pct (default 10). Both flags are consumed here; all
+# other arguments are forwarded to every bench binary.
+#
+#   ./run_benches.sh                                   # just run + dump
+#   METRICS_DIR=new ./run_benches.sh --baseline_dir=bench_metrics_main \
+#                                    --threshold_pct=5  # gated run
 set -u
 
 METRICS_DIR="${METRICS_DIR:-bench_metrics}"
 mkdir -p "$METRICS_DIR"
+
+BASELINE_DIR=""
+THRESHOLD_PCT=10
+bench_args=()
+for arg in "$@"; do
+  case "$arg" in
+    --baseline_dir=*) BASELINE_DIR="${arg#*=}" ;;
+    --threshold_pct=*) THRESHOLD_PCT="${arg#*=}" ;;
+    *) bench_args+=("$arg") ;;
+  esac
+done
 
 status=0
 for b in build/bench/*; do
@@ -15,7 +36,7 @@ for b in build/bench/*; do
     name=$(basename "$b")
     metrics_file="$METRICS_DIR/$name.json"
     echo "########## $name ##########"
-    "$b" "$@" --metrics_out="$metrics_file" 2>&1
+    "$b" ${bench_args[@]+"${bench_args[@]}"} --metrics_out="$metrics_file" 2>&1
     echo
     if ! python3 -m json.tool "$metrics_file" > /dev/null; then
       echo "ERROR: $metrics_file is missing or not valid JSON" >&2
@@ -23,4 +44,16 @@ for b in build/bench/*; do
     fi
   fi
 done
+
+if [ -n "$BASELINE_DIR" ]; then
+  if [ ! -x build/tools/bench_diff ]; then
+    echo "ERROR: --baseline_dir given but build/tools/bench_diff not built" >&2
+    exit 1
+  fi
+  echo "########## bench_diff vs $BASELINE_DIR ##########"
+  if ! build/tools/bench_diff --baseline="$BASELINE_DIR" \
+      --candidate="$METRICS_DIR" --threshold_pct="$THRESHOLD_PCT"; then
+    status=1
+  fi
+fi
 exit $status

@@ -1,0 +1,373 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "fault/fault.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace hosr::net {
+
+namespace {
+
+// Idle-wait slice between frames; bounds how long a worker takes to notice
+// a drain while parked on a quiet persistent connection.
+constexpr int kIdlePollMs = 100;
+
+std::string ErrorResponseFrame(const util::Status& status) {
+  QueryResponse response;
+  response.status_code = static_cast<uint32_t>(status.code());
+  response.message = status.message();
+  return EncodeFrame(FrameType::kQueryReply,
+                           EncodeQueryResponse(response));
+}
+
+}  // namespace
+
+NetServer::NetServer(Options options) : options_(options) {
+  HOSR_CHECK(options_.engine != nullptr) << "NetServer needs an engine";
+  HOSR_CHECK(options_.executor != nullptr || options_.batcher != nullptr)
+      << "NetServer needs an executor or a batcher";
+  HOSR_CHECK(options_.worker_threads > 0);
+}
+
+NetServer::~NetServer() { Stop(); }
+
+util::Status NetServer::Start() {
+  if (started_) {
+    return util::Status::FailedPrecondition("net server already started");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::Status::IoError(
+        util::StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      options_.bind_any ? htonl(INADDR_ANY) : htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::IoError(util::StrFormat(
+        "bind(%s:%d): %s", options_.bind_any ? "0.0.0.0" : "127.0.0.1",
+        options_.port, error.c_str()));
+  }
+  if (listen(listen_fd_, 64) != 0) {
+    const std::string error = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::IoError(
+        util::StrFormat("listen(): %s", error.c_str()));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                  &addr_len) != 0) {
+    const std::string error = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::IoError(
+        util::StrFormat("getsockname(): %s", error.c_str()));
+  }
+  port_ = ntohs(addr.sin_port);
+  stopping_.store(false, std::memory_order_relaxed);
+
+  workers_.reserve(static_cast<size_t>(options_.worker_threads));
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  HOSR_LOG(Info) << "net server listening on "
+                 << (options_.bind_any ? "0.0.0.0" : "127.0.0.1") << ":"
+                 << port_;
+  return util::Status::Ok();
+}
+
+void NetServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Wake the blocked accept() so the acceptor can observe stopping_; new
+  // connection attempts are refused from here on.
+  shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  // Workers finish the frame they are serving (the answered-before-closed
+  // guarantee), then exit without claiming queued connections. Taking the
+  // queue mutex first closes the race with a worker between its predicate
+  // check and going to sleep, which would otherwise miss this wakeup.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Accepted-but-never-claimed connections carry no in-flight requests;
+  // tell them the server is gone with a clean wire status, then close.
+  std::deque<int> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    leftover.swap(pending_);
+  }
+  const std::string drain_frame = ErrorResponseFrame(
+      util::Status::Unavailable("server draining"));
+  for (const int fd : leftover) {
+    SetSendTimeoutMs(fd, options_.write_timeout_ms);
+    (void)SendAll(fd, drain_frame);
+    close(fd);
+  }
+}
+
+NetServer::Stats NetServer::GetStats() const {
+  Stats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.responses = responses_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.read_timeouts = read_timeouts_.load(std::memory_order_relaxed);
+  stats.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void NetServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      if (errno == EINTR) continue;
+      return;  // listener socket is gone
+    }
+    // Injected accept failures and accept-queue overload shed identically:
+    // one clean status frame on the wire, then close — a remote client
+    // sees admission control, not a hang or a reset.
+    util::Status verdict = fault::Inject("net.accept");
+    if (verdict.ok()) {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (pending_.size() >= options_.max_pending_conns) {
+        verdict = util::Status::ResourceExhausted(util::StrFormat(
+            "accept queue full (%zu connections pending)",
+            pending_.size()));
+      } else {
+        pending_.push_back(fd);
+      }
+    }
+    if (!verdict.ok()) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      HOSR_COUNTER("net/shed").Increment();
+      SetSendTimeoutMs(fd, options_.write_timeout_ms);
+      (void)SendAll(fd, ErrorResponseFrame(verdict));
+      close(fd);
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    HOSR_COUNTER("net/connections").Increment();
+    queue_cv_.notify_one();
+  }
+}
+
+void NetServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               !pending_.empty();
+      });
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+    close(fd);
+  }
+}
+
+void NetServer::ServeConnection(int fd) {
+  SetRecvTimeoutMs(fd, options_.read_timeout_ms);
+  SetSendTimeoutMs(fd, options_.write_timeout_ms);
+  for (;;) {
+    // Between frames, wait in short slices so a drain is noticed quickly.
+    // During a drain, already-arrived frames (0ms poll) are still served —
+    // that is the in-flight-requests-complete half of graceful drain — but
+    // the connection no longer waits for new ones.
+    const bool draining = stopping_.load(std::memory_order_relaxed);
+    auto readable = WaitReadable(fd, draining ? 0 : kIdlePollMs);
+    if (!readable.ok()) return;
+    if (!readable.value()) {
+      if (draining) return;
+      continue;
+    }
+    if (!ServeOneFrame(fd)) return;
+  }
+}
+
+bool NetServer::WriteResponseFrame(int fd, const std::string& frame_bytes) {
+  // net.write faults model a dead downstream link: nothing can be said to
+  // the peer, so the connection just drops.
+  if (!fault::Inject("net.write").ok()) return false;
+  if (!SendAll(fd, frame_bytes).ok()) return false;
+  bytes_written_.fetch_add(frame_bytes.size(), std::memory_order_relaxed);
+  HOSR_COUNTER("net/bytes_written").Increment(frame_bytes.size());
+  return true;
+}
+
+bool NetServer::ServeOneFrame(int fd) {
+  // net.read faults fire before the frame is consumed; the stream position
+  // is then unknowable, so the injected status is answered and the
+  // connection closed — the client sees a clean error, never a desync.
+  if (const util::Status injected = fault::Inject("net.read");
+      !injected.ok()) {
+    (void)WriteResponseFrame(fd, ErrorResponseFrame(injected));
+    return false;
+  }
+  bool clean_eof = false;
+  auto frame = ReadFrame(fd, &clean_eof);
+  if (!frame.ok()) {
+    if (clean_eof) return false;  // normal end of a persistent connection
+    const util::StatusCode code = frame.status().code();
+    if (code == util::StatusCode::kDeadlineExceeded) {
+      // Slow-loris: the peer started a frame but never finished it within
+      // read_timeout_ms; cut it off so the worker frees up.
+      read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      HOSR_COUNTER("net/read_timeouts").Increment();
+    } else if (code != util::StatusCode::kUnavailable) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      HOSR_COUNTER("net/protocol_errors").Increment();
+    }
+    (void)WriteResponseFrame(fd, ErrorResponseFrame(frame.status()));
+    return false;
+  }
+  bytes_read_.fetch_add(kFrameHeaderSize + frame->payload.size(),
+                        std::memory_order_relaxed);
+  HOSR_COUNTER("net/bytes_read")
+      .Increment(kFrameHeaderSize + frame->payload.size());
+
+  switch (static_cast<FrameType>(frame->type)) {
+    case FrameType::kInfo: {
+      ServerInfo info;
+      info.num_users = options_.engine->num_users();
+      info.num_items = options_.engine->num_items();
+      info.dim = options_.engine->dim();
+      info.model_name = options_.engine->snapshot().model_name;
+      return WriteResponseFrame(
+          fd, EncodeFrame(FrameType::kInfoReply,
+                                EncodeServerInfo(info)));
+    }
+    case FrameType::kQuery:
+      break;  // handled below
+    default:
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      HOSR_COUNTER("net/protocol_errors").Increment();
+      (void)WriteResponseFrame(
+          fd, ErrorResponseFrame(util::Status::InvalidArgument(
+                  util::StrFormat("unknown frame type %u", frame->type))));
+      return false;
+  }
+
+  auto request = DecodeQueryRequest(frame->payload);
+  if (!request.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    HOSR_COUNTER("net/protocol_errors").Increment();
+    (void)WriteResponseFrame(fd, ErrorResponseFrame(request.status()));
+    return false;
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  HOSR_COUNTER("net/requests").Increment();
+  const int64_t begin_ns = obs::NowNanos();
+
+  // The wire trace id scopes every span/exemplar this request produces —
+  // and doubles as the fault token, so injected engine outcomes are a pure
+  // function of the request stream, independent of which worker runs it.
+  const obs::ScopedRequestContext request_scope(
+      obs::RequestContext{request->trace_id, request->user, request->k});
+  const uint64_t token = request->trace_id != 0
+                             ? request->trace_id
+                             : requests_.load(std::memory_order_relaxed);
+  const serve::Deadline deadline =
+      request->deadline_ms > 0
+          ? std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(request->deadline_ms)
+          : serve::kNoDeadline;
+
+  util::StatusOr<serve::ServeResponse> served =
+      util::Status::Internal("unreached");
+  bool from_cache = false;
+  {
+    HOSR_TRACE_SPAN("net/request");
+    if (options_.batcher != nullptr) {
+      served = options_.batcher->Submit(request->user, request->k, deadline)
+                   .get();
+    } else {
+      if (options_.cache != nullptr) {
+        if (auto hit = options_.cache->Get(request->user, request->k)) {
+          served = serve::ServeResponse{std::move(*hit), /*degraded=*/false};
+          from_cache = true;
+        }
+      }
+      if (!from_cache) {
+        served = options_.executor->Execute(request->user, request->k, token,
+                                            deadline);
+        if (served.ok() && !served->degraded && options_.cache != nullptr) {
+          options_.cache->Put(request->user, request->k, served->items);
+        }
+      }
+    }
+  }
+
+  QueryResponse response;
+  if (served.ok()) {
+    response.status_code = static_cast<uint32_t>(util::StatusCode::kOk);
+    if (from_cache) response.flags |= kResponseFromCache;
+    if (served->degraded) response.flags |= kResponseDegraded;
+    response.items = std::move(served->items);
+    response.scores.reserve(response.items.size());
+    for (const uint32_t item : response.items) {
+      response.scores.push_back(
+          options_.engine->snapshot().Score(request->user, item));
+    }
+  } else {
+    response.status_code = static_cast<uint32_t>(served.status().code());
+    response.message = served.status().message();
+  }
+  HOSR_HISTOGRAM("net/request_latency_ms")
+      .Observe(static_cast<double>(obs::NowNanos() - begin_ns) / 1e6);
+
+  if (!WriteResponseFrame(
+          fd, EncodeFrame(FrameType::kQueryReply,
+                                EncodeQueryResponse(response)))) {
+    return false;
+  }
+  responses_.fetch_add(1, std::memory_order_relaxed);
+  HOSR_COUNTER("net/responses").Increment();
+  return true;
+}
+
+}  // namespace hosr::net

@@ -1,0 +1,141 @@
+#ifndef HOSR_NET_SERVER_H_
+#define HOSR_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/cache.h"
+#include "serve/engine.h"
+#include "serve/hardened.h"
+#include "util/status.h"
+
+namespace hosr::net {
+
+// TCP serving front end over the in-process inference stack: one acceptor
+// thread plus a fixed worker pool speaking the hosr::net wire protocol
+// (net/wire.h) on persistent connections. Each worker owns one connection
+// at a time and serves its frames in order until the peer disconnects, a
+// protocol error desynchronizes the stream, or the server drains — so the
+// pool size bounds concurrently-served connections; further accepted
+// connections wait FIFO in the pending queue.
+//
+// Request path: a kQuery frame's deadline_ms becomes an absolute deadline
+// at decode time and the request runs under obs::ScopedRequestContext
+// (trace_id from the wire) through either the RequestBatcher (when
+// configured) or the ResultCache + HardenedExecutor — the same pipeline
+// the in-process replay drives, so network answers are bit-identical to
+// InferenceEngine::TopKForUser. Response scores come from
+// ModelSnapshot::Score over the returned ids.
+//
+// Overload: when the pending queue is at max_pending_conns (or the
+// net.accept fault point fires) the acceptor sheds the connection on the
+// wire — one ResourceExhausted response frame, then close — so remote
+// clients see admission control as a clean status, exactly like the
+// batcher's queue shedding.
+//
+// Graceful drain: Stop() refuses new accepts, completes (and answers)
+// every request already read off a socket, lets each worker finish the
+// frame it is parsing, then closes all connections and joins all threads.
+// Stats().requests == Stats().responses after Stop() is the zero-dropped-
+// in-flight guarantee the net_smoke test asserts.
+//
+// Fault points: net.accept (per accepted connection), net.read (per frame
+// read; an injected status is answered on the wire and the connection
+// closed) and net.write (per response write; an injected failure drops the
+// connection) — all in the process-global fault::FaultRegistry.
+class NetServer {
+ public:
+  struct Options {
+    int port = 0;             // 0 = kernel-assigned ephemeral port
+    bool bind_any = false;    // false: loopback only; true: 0.0.0.0
+    int worker_threads = 4;   // concurrently served persistent connections
+    // Accepted-but-unclaimed connections allowed to wait for a worker;
+    // beyond this the acceptor sheds on the wire (ResourceExhausted).
+    size_t max_pending_conns = 64;
+    // Per-socket operation bounds. read_timeout_ms caps how long a worker
+    // waits for the REST of a frame once its first byte arrived (the
+    // slow-loris bound); idle waits between frames poll in short slices so
+    // drain stays responsive.
+    int read_timeout_ms = 30000;
+    int write_timeout_ms = 10000;
+
+    // Serving pipeline (all borrowed, must outlive the server). Exactly
+    // one of batcher/executor is used per request: batcher when non-null,
+    // else cache (optional) + executor.
+    const serve::InferenceEngine* engine = nullptr;   // required
+    const serve::HardenedExecutor* executor = nullptr;  // required unless batcher
+    serve::RequestBatcher* batcher = nullptr;
+    serve::ResultCache* cache = nullptr;
+  };
+
+  explicit NetServer(Options options);
+  ~NetServer();  // Stop()s if still running
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Binds and starts the acceptor + workers.
+  util::Status Start();
+
+  // Graceful drain (see above). Idempotent; blocks until every in-flight
+  // request has been answered and all threads joined.
+  void Stop();
+
+  // The bound port (resolves Options::port == 0); valid after Start().
+  int port() const { return port_; }
+
+  // Monotonic totals since Start(), also mirrored as net/* obs metrics.
+  struct Stats {
+    uint64_t accepted = 0;         // connections handed to the worker pool
+    uint64_t shed = 0;             // connections refused with ResourceExhausted
+    uint64_t requests = 0;         // query frames fully read
+    uint64_t responses = 0;        // response frames fully written
+    uint64_t protocol_errors = 0;  // malformed frames / bad payloads
+    uint64_t read_timeouts = 0;    // slow-loris reads cut off
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  // Serves one persistent connection until close/error/drain.
+  void ServeConnection(int fd);
+  // Reads, executes, and answers a single frame. Returns false when the
+  // connection must close (peer gone, protocol error, injected fault).
+  bool ServeOneFrame(int fd);
+  bool WriteResponseFrame(int fd, const std::string& frame_bytes);
+
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> responses_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> read_timeouts_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+};
+
+}  // namespace hosr::net
+
+#endif  // HOSR_NET_SERVER_H_

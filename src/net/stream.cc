@@ -1,0 +1,105 @@
+#include "net/stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace hosr::net {
+
+uint32_t SampleZipfUser(util::Rng* rng, uint32_t num_users, double s) {
+  if (s <= 0.0) return static_cast<uint32_t>(rng->UniformInt(num_users));
+  const double n = static_cast<double>(num_users);
+  const double u = rng->UniformDouble();
+  const double x = std::pow((std::pow(n, 1.0 - s) - 1.0) * u + 1.0,
+                            1.0 / (1.0 - s));
+  const auto idx = static_cast<uint32_t>(x - 1.0);
+  return std::min(idx, num_users - 1);
+}
+
+util::StatusOr<std::vector<StreamRequest>> LoadRequestScript(
+    const std::string& path, uint32_t num_users, uint32_t default_k) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open requests: " + path);
+  std::vector<StreamRequest> requests;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    uint32_t user = 0, k = default_k;
+    const int fields = std::sscanf(line.c_str(), "%u %u", &user, &k);
+    if (fields < 1 || user >= num_users || k == 0) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "bad request at %s:%zu: \"%s\"", path.c_str(), line_no,
+          line.c_str()));
+    }
+    requests.push_back({user, k});
+  }
+  if (requests.empty()) {
+    return util::Status::InvalidArgument("request file is empty: " + path);
+  }
+  return requests;
+}
+
+std::vector<StreamRequest> SyntheticStream(uint32_t num_users, size_t n,
+                                           uint32_t k, double zipf,
+                                           uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<StreamRequest> requests;
+  requests.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    requests.push_back({SampleZipfUser(&rng, num_users, zipf), k});
+  }
+  return requests;
+}
+
+double PercentileUs(const std::vector<int64_t>& sorted_ns, double p) {
+  if (sorted_ns.empty()) return 0.0;
+  const auto rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted_ns.size())));
+  const size_t idx = rank == 0 ? 0 : rank - 1;
+  return static_cast<double>(
+             sorted_ns[std::min(idx, sorted_ns.size() - 1)]) /
+         1e3;
+}
+
+LatencySummary SummarizeLatencies(std::vector<int64_t>* ns) {
+  LatencySummary summary;
+  if (ns->empty()) return summary;
+  std::sort(ns->begin(), ns->end());
+  double sum = 0.0;
+  for (const int64_t v : *ns) sum += static_cast<double>(v);
+  summary.mean_us = sum / static_cast<double>(ns->size()) / 1e3;
+  summary.p50_us = PercentileUs(*ns, 50.0);
+  summary.p95_us = PercentileUs(*ns, 95.0);
+  summary.p99_us = PercentileUs(*ns, 99.0);
+  return summary;
+}
+
+void Outcomes::CountStatus(const util::Status& status) {
+  switch (status.code()) {
+    case util::StatusCode::kDeadlineExceeded:
+      ++deadline_exceeded;
+      break;
+    case util::StatusCode::kResourceExhausted:
+      ++shed;
+      break;
+    default:
+      ++error;
+      break;
+  }
+}
+
+Outcomes& Outcomes::operator+=(const Outcomes& other) {
+  ok += other.ok;
+  degraded += other.degraded;
+  deadline_exceeded += other.deadline_exceeded;
+  shed += other.shed;
+  error += other.error;
+  return *this;
+}
+
+}  // namespace hosr::net

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "net/socket.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -355,44 +356,38 @@ void AdminServer::ServeConnection(int fd) const {
 }
 
 util::StatusOr<HttpResponse> AdminHttpGet(int port, const std::string& path) {
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return util::Status::IoError(
-        util::StrFormat("socket(): %s", std::strerror(errno)));
-  }
-  SetRecvTimeout(fd);
-  struct sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const std::string error = std::strerror(errno);
-    close(fd);
-    return util::Status::IoError(util::StrFormat(
-        "connect(127.0.0.1:%d): %s", port, error.c_str()));
-  }
+  // The shared socket helpers bound every phase — connect, send, and each
+  // recv — so a probe against a wedged or half-up server fails in bounded
+  // time instead of pinning the calling thread.
+  auto connected = net::ConnectTcp("127.0.0.1", port,
+                                   /*connect_timeout_ms=*/
+                                   kSocketTimeoutSeconds * 1000);
+  if (!connected.ok()) return connected.status();
+  net::ScopedFd fd(connected.value());
+  net::SetRecvTimeoutMs(fd.get(), kSocketTimeoutSeconds * 1000);
+  net::SetSendTimeoutMs(fd.get(), kSocketTimeoutSeconds * 1000);
   const std::string request =
       util::StrFormat("GET %s HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n",
                       path.c_str());
-  if (!SendAll(fd, request)) {
-    close(fd);
-    return util::Status::IoError("send() failed");
+  if (util::Status sent = net::SendAll(fd.get(), request); !sent.ok()) {
+    return sent;
   }
   std::string raw;
   char buffer[4096];
   for (;;) {
-    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    const ssize_t n = recv(fd.get(), buffer, sizeof(buffer), 0);
     if (n < 0) {
-      close(fd);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return util::Status::DeadlineExceeded(
+            util::StrFormat("recv timed out after %ds",
+                            kSocketTimeoutSeconds));
+      }
       return util::Status::IoError(
           util::StrFormat("recv(): %s", std::strerror(errno)));
     }
     if (n == 0) break;  // HTTP/1.0: server closes after the body
     raw.append(buffer, static_cast<size_t>(n));
   }
-  close(fd);
 
   // "HTTP/1.0 <code> <reason>\r\n" headers "\r\n\r\n" body.
   const size_t status_start = raw.find(' ');

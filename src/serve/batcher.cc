@@ -167,7 +167,11 @@ void RequestBatcher::ExecuteBatch(std::vector<Request> batch) {
           // Request and is re-installed here so the executor's spans and
           // latency exemplars carry the original trace id.
           obs::ScopedRequestContext request_scope(r.context);
-          auto response = executor_.Execute(r.user, r.k, r.token);
+          // The request's own deadline (kNoDeadline for plain Submits)
+          // rides into the engine's per-block checks, so a queued request
+          // that is nearly expired stops scoring the moment it blows its
+          // budget instead of finishing a doomed scan.
+          auto response = executor_.Execute(r.user, r.k, r.token, r.deadline);
           if (response.ok() && !response->degraded &&
               options_.cache != nullptr) {
             options_.cache->Put(r.user, r.k, response->items);

@@ -1,5 +1,6 @@
 #include "serve/hardened.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -39,9 +40,15 @@ HardenedExecutor::HardenedExecutor(const InferenceEngine* engine,
 util::StatusOr<ServeResponse> HardenedExecutor::Execute(uint32_t user,
                                                         uint32_t k,
                                                         uint64_t token) const {
+  return Execute(user, k, token, kNoDeadline);
+}
+
+util::StatusOr<ServeResponse> HardenedExecutor::Execute(
+    uint32_t user, uint32_t k, uint64_t token, Deadline deadline) const {
   HOSR_TRACE_SPAN("serve/request");
   const int64_t begin_ns = obs::NowNanos();
-  util::StatusOr<ServeResponse> result = ExecuteInternal(user, k, token);
+  util::StatusOr<ServeResponse> result =
+      ExecuteInternal(user, k, token, deadline);
   // Observe() inherits the caller's request context, so tail buckets of
   // this histogram carry the trace ids of real slow requests as exemplars.
   HOSR_HISTOGRAM("serve/request_latency_ms")
@@ -55,8 +62,9 @@ util::StatusOr<ServeResponse> HardenedExecutor::Execute(uint32_t user,
 }
 
 util::StatusOr<ServeResponse> HardenedExecutor::ExecuteInternal(
-    uint32_t user, uint32_t k, uint64_t token) const {
-  const Deadline wall_deadline =
+    uint32_t user, uint32_t k, uint64_t token,
+    Deadline request_deadline) const {
+  Deadline wall_deadline =
       options_.use_wall_clock && options_.deadline_ms > 0.0
           ? std::chrono::steady_clock::now() +
                 std::chrono::duration_cast<Deadline::duration>(
@@ -67,6 +75,25 @@ util::StatusOr<ServeResponse> HardenedExecutor::ExecuteInternal(
   RetryPolicy::Options retry_options = options_.retry;
   if (options_.deadline_ms > 0.0) {
     retry_options.budget_ms = options_.deadline_ms;
+  }
+  if (request_deadline != kNoDeadline) {
+    // Per-request deadline (the network path): enforce against the wall
+    // clock regardless of the options-level mode, and charge the retry
+    // budget against the time actually remaining, never more than the
+    // configured budget.
+    wall_deadline = std::min(wall_deadline, request_deadline);
+    const double remaining_ms =
+        std::chrono::duration<double, std::milli>(request_deadline -
+                                                  std::chrono::steady_clock::now())
+            .count();
+    if (remaining_ms <= 0.0) {
+      HOSR_COUNTER("serve/deadline_exceeded").Increment();
+      return util::Status::DeadlineExceeded("request deadline expired");
+    }
+    retry_options.budget_ms = retry_options.budget_ms > 0.0
+                                  ? std::min(retry_options.budget_ms,
+                                             remaining_ms)
+                                  : remaining_ms;
   }
   RetryPolicy retry(retry_options, MixSeed(options_.seed, token));
 

@@ -69,13 +69,24 @@ class HardenedExecutor {
   util::StatusOr<ServeResponse> Execute(uint32_t user, uint32_t k,
                                         uint64_t token) const;
 
+  // As above with an explicit absolute wall-clock deadline for THIS request
+  // (the network path: a client's wire deadline_ms, converted at decode
+  // time). kNoDeadline falls back to the configured options. A per-request
+  // deadline is always wall-clock enforced — it lands in the engine's
+  // per-block checks and caps the retry budget at the remaining time, and
+  // tightens (never loosens) any options-level deadline_ms.
+  util::StatusOr<ServeResponse> Execute(uint32_t user, uint32_t k,
+                                        uint64_t token,
+                                        Deadline deadline) const;
+
   const HardenedOptions& options() const { return options_; }
 
  private:
   // The un-instrumented pipeline; Execute() wraps it with span/latency/
   // health/flight-recorder bookkeeping.
   util::StatusOr<ServeResponse> ExecuteInternal(uint32_t user, uint32_t k,
-                                                uint64_t token) const;
+                                                uint64_t token,
+                                                Deadline deadline) const;
 
   const InferenceEngine* engine_;
   HardenedOptions options_;

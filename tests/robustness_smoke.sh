@@ -13,10 +13,11 @@
 #      (engine.score:p=0.2, --deadline_ms=5) and assert: every request
 #      resolved, >0 degraded, >0 deadline_exceeded, and both runs report
 #      identical outcome counts;
-#   6. rebuild the fault + serve + obs-admin unit tests under
+#   6. rebuild the fault + serve + obs-admin + net unit tests under
 #      AddressSanitizer (-DHOSR_SANITIZE=address) and run them — the
-#      obs_admin suite covers the live admin socket server, the exemplar
-#      slots, and the flight recorder under a sanitizer.
+#      obs_admin and net suites cover the live socket servers (admin HTTP
+#      and the wire-protocol NetServer), the exemplar slots, and the
+#      flight recorder under a sanitizer.
 #
 # Usage: robustness_smoke.sh <hosr_cli> <hosr_serve> <source_dir>
 set -eu
@@ -102,7 +103,7 @@ cmake -B "$WORK/asan" -S "$SRC" -DHOSR_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > "$WORK/asan_configure.log" 2>&1 \
   || { cat "$WORK/asan_configure.log" >&2; exit 1; }
 cmake --build "$WORK/asan" -j "$(nproc)" \
-  --target fault_test serve_test robustness_test obs_admin_test \
+  --target fault_test serve_test robustness_test obs_admin_test net_test \
   > "$WORK/asan_build.log" 2>&1 \
   || { tail -50 "$WORK/asan_build.log" >&2; exit 1; }
 "$WORK/asan/tests/fault_test" > "$WORK/asan_fault.log" 2>&1 \
@@ -113,6 +114,8 @@ cmake --build "$WORK/asan" -j "$(nproc)" \
   || { tail -50 "$WORK/asan_robustness.log" >&2; exit 1; }
 "$WORK/asan/tests/obs_admin_test" > "$WORK/asan_obs_admin.log" 2>&1 \
   || { tail -50 "$WORK/asan_obs_admin.log" >&2; exit 1; }
-echo "asan OK: fault_test + serve_test + robustness_test + obs_admin_test clean"
+"$WORK/asan/tests/net_test" > "$WORK/asan_net.log" 2>&1 \
+  || { tail -50 "$WORK/asan_net.log" >&2; exit 1; }
+echo "asan OK: fault_test + serve_test + robustness_test + obs_admin_test + net_test clean"
 
 echo "robustness_smoke OK"

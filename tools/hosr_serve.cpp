@@ -2,9 +2,12 @@
 //
 // Loads a snapshot exported by `hosr_cli train --snapshot_out=FILE`, builds
 // an InferenceEngine (with seen-item filtering when --data is given), then
-// replays a scripted or synthetic top-K request stream and reports achieved
-// QPS, exact p50/p95/p99 latency, and cache hit rate — on stdout as JSON, to
-// --summary_out, and through the hosr::obs registry.
+// either replays a scripted or synthetic top-K request stream in process
+// (the default) or serves the hosr::net wire protocol over TCP (--port).
+// Replay mode reports achieved QPS, exact p50/p95/p99 latency, and cache
+// hit rate — on stdout as JSON, to --summary_out, and through the
+// hosr::obs registry. Server mode runs until SIGTERM/SIGINT (or
+// --serve_duration_s), drains gracefully, and reports wire-level totals.
 //
 //   hosr_serve --snapshot=FILE [--data=DIR]
 //              [--requests=FILE]           scripted stream: "user [k]" lines
@@ -19,13 +22,23 @@
 //              [--linger_us=100]           batcher coalescing window
 //              [--queue_capacity=4096]     batcher admission limit (shed above)
 //              [--seed=1] [--summary_out=FILE]
+// network serving (docs/SERVING.md):
+//              [--port=N]                  serve the wire protocol on
+//                                          127.0.0.1:N (0 = ephemeral);
+//                                          omit for in-process replay
+//              [--port_file=FILE]          write the bound port (atomic)
+//              [--bind_any]                bind 0.0.0.0 instead of loopback
+//              [--workers=4]               connection-serving worker threads
+//              [--max_pending_conns=64]    accept queue bound (shed above)
+//              [--net_read_timeout_ms=30000]  slow-loris cutoff
+//              [--serve_duration_s=0]      auto-stop after N seconds
 // hardening flags (docs/ROBUSTNESS.md):
 //              [--deadline_ms=0]           per-request budget; 0 disables
 //              [--retries=2]               retry attempts after the first
 //              [--retry_backoff_ms=2]      base backoff (decorrelated jitter)
 //              [--retry_backoff_max_ms=8]  backoff cap
 //              [--fault_spec=SPEC]         arm fault injection (e.g.
-//                                          engine.score:p=0.2)
+//                                          engine.score:p=0.2, net.read:n=7)
 //              [--fault_seed=1]
 // live observability (docs/OBSERVABILITY.md):
 //              [--admin_port=N]            serve /metricsz /healthz /readyz
@@ -45,10 +58,10 @@
 // identical counts.
 // plus the standard observability flags (--metrics_out, --trace_out, ...).
 #include <algorithm>
-#include <cmath>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -57,6 +70,8 @@
 #include "data/io.h"
 #include "fault/fault.h"
 #include "kernels/kernels.h"
+#include "net/server.h"
+#include "net/stream.h"
 #include "obs/admin_server.h"
 #include "obs/context.h"
 #include "obs/flight.h"
@@ -80,94 +95,15 @@ namespace {
 
 using namespace hosr;
 
-struct Request {
-  uint32_t user;
-  uint32_t k;
-};
-
-// Per-thread outcome tally, summed after the replay joins.
-struct Outcomes {
-  uint64_t ok = 0;
-  uint64_t degraded = 0;
-  uint64_t deadline_exceeded = 0;
-  uint64_t shed = 0;
-  uint64_t error = 0;
-
-  void Count(const util::StatusOr<serve::ServeResponse>& response) {
-    if (response.ok()) {
-      if (response->degraded) {
-        ++degraded;
-      } else {
-        ++ok;
-      }
-      return;
-    }
-    switch (response.status().code()) {
-      case util::StatusCode::kDeadlineExceeded:
-        ++deadline_exceeded;
-        break;
-      case util::StatusCode::kResourceExhausted:
-        ++shed;
-        break;
-      default:
-        ++error;
-        break;
-    }
-  }
-};
-
 int Fail(const util::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
 }
 
-// Approximate bounded-Zipf sampler via inverse-CDF of the continuous
-// analog: heavy head, long tail, exponent `s` in [0, 1). s == 0 is uniform.
-uint32_t SampleUser(util::Rng* rng, uint32_t num_users, double s) {
-  if (s <= 0.0) return static_cast<uint32_t>(rng->UniformInt(num_users));
-  const double n = static_cast<double>(num_users);
-  const double u = rng->UniformDouble();
-  const double x = std::pow((std::pow(n, 1.0 - s) - 1.0) * u + 1.0,
-                            1.0 / (1.0 - s));
-  const auto idx = static_cast<uint32_t>(x - 1.0);
-  return std::min(idx, num_users - 1);
-}
+// SIGTERM/SIGINT flip this; the server loop polls it and drains.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
 
-util::StatusOr<std::vector<Request>> LoadRequests(const std::string& path,
-                                                  uint32_t num_users,
-                                                  uint32_t default_k) {
-  std::ifstream in(path);
-  if (!in) return util::Status::IoError("cannot open requests: " + path);
-  std::vector<Request> requests;
-  std::string line;
-  size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    uint32_t user = 0, k = default_k;
-    const int fields = std::sscanf(line.c_str(), "%u %u", &user, &k);
-    if (fields < 1 || user >= num_users || k == 0) {
-      return util::Status::InvalidArgument(util::StrFormat(
-          "bad request at %s:%zu: \"%s\"", path.c_str(), line_no,
-          line.c_str()));
-    }
-    requests.push_back({user, k});
-  }
-  if (requests.empty()) {
-    return util::Status::InvalidArgument("request file is empty: " + path);
-  }
-  return requests;
-}
-
-double PercentileUs(const std::vector<int64_t>& sorted_ns, double p) {
-  if (sorted_ns.empty()) return 0.0;
-  const auto rank = static_cast<size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(sorted_ns.size())));
-  const size_t idx = rank == 0 ? 0 : rank - 1;
-  return static_cast<double>(sorted_ns[std::min(idx,
-                                                sorted_ns.size() - 1)]) /
-         1e3;
-}
+void HandleShutdownSignal(int) { g_shutdown_requested = 1; }
 
 }  // namespace
 
@@ -254,10 +190,10 @@ int main(int argc, char** argv) {
     admin->SetVar("forced_scalar", kernels::ForcedScalar() ? "true" : "false");
     admin->SetVar("dims", util::StrFormat("%ux%u dim %u", num_users,
                                           num_items, dim));
-    const std::string port_file = flags.GetString("admin_port_file", "");
-    if (!port_file.empty()) {
+    const std::string admin_port_file = flags.GetString("admin_port_file", "");
+    if (!admin_port_file.empty()) {
       if (auto status = util::WriteFileAtomic(
-              port_file, util::StrFormat("%d\n", admin->port()));
+              admin_port_file, util::StrFormat("%d\n", admin->port()));
           !status.ok()) {
         return Fail(status);
       }
@@ -269,24 +205,6 @@ int main(int argc, char** argv) {
     } else {
       HOSR_LOG(Warning) << "readiness probe failed, /readyz stays 503: "
                         << probe.status();
-    }
-  }
-
-  // Request stream: scripted file or synthetic (skewed) sampling.
-  const auto default_k = static_cast<uint32_t>(flags.GetInt("k", 10));
-  std::vector<Request> requests;
-  const std::string requests_path = flags.GetString("requests", "");
-  if (!requests_path.empty()) {
-    auto loaded = LoadRequests(requests_path, num_users, default_k);
-    if (!loaded.ok()) return Fail(loaded.status());
-    requests = std::move(loaded).value();
-  } else {
-    const auto n = static_cast<size_t>(flags.GetInt("num_requests", 10000));
-    const double zipf = flags.GetDouble("zipf", 0.9);
-    util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
-    requests.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      requests.push_back({SampleUser(&rng, num_users, zipf), default_k});
     }
   }
 
@@ -340,9 +258,105 @@ int main(int argc, char** argv) {
                      .hardened = hardened});
   }
 
+  // ---- Server mode: speak the wire protocol until told to stop. --------
+  if (flags.Has("port")) {
+    net::NetServer::Options server_options;
+    server_options.port = static_cast<int>(flags.GetInt("port", 0));
+    server_options.bind_any = flags.GetBool("bind_any", false);
+    server_options.worker_threads =
+        static_cast<int>(flags.GetInt("workers", 4));
+    server_options.max_pending_conns =
+        static_cast<size_t>(flags.GetInt("max_pending_conns", 64));
+    server_options.read_timeout_ms =
+        static_cast<int>(flags.GetInt("net_read_timeout_ms", 30000));
+    server_options.engine = &engine;
+    server_options.executor = &executor;
+    server_options.batcher = batcher.get();
+    server_options.cache = cache.get();
+    net::NetServer server(server_options);
+    if (auto status = server.Start(); !status.ok()) return Fail(status);
+    const std::string port_file = flags.GetString("port_file", "");
+    if (!port_file.empty()) {
+      if (auto status = util::WriteFileAtomic(
+              port_file, util::StrFormat("%d\n", server.port()));
+          !status.ok()) {
+        return Fail(status);
+      }
+    }
+    std::signal(SIGTERM, HandleShutdownSignal);
+    std::signal(SIGINT, HandleShutdownSignal);
+    const double duration_s = flags.GetDouble("serve_duration_s", 0.0);
+    const util::WallTimer serve_timer;
+    while (g_shutdown_requested == 0) {
+      if (duration_s > 0.0 && serve_timer.ElapsedSeconds() >= duration_s) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    HOSR_LOG(Info) << "draining: completing in-flight requests";
+    server.Stop();  // graceful: answers everything already read
+    if (batcher != nullptr) batcher->Stop();
+    const double elapsed = serve_timer.ElapsedSeconds();
+
+    const net::NetServer::Stats stats = server.GetStats();
+    serve::ResultCache::Stats cache_stats;
+    if (cache != nullptr) cache_stats = cache->GetStats();
+    const std::string summary = util::StrFormat(
+        "{\"mode\": \"server\", \"snapshot\": \"%s\", \"model\": \"%s\", "
+        "\"port\": %d, \"workers\": %d, \"batched\": %s, "
+        "\"elapsed_seconds\": %.4f, "
+        "\"net\": {\"accepted\": %llu, \"shed\": %llu, \"requests\": %llu, "
+        "\"responses\": %llu, \"protocol_errors\": %llu, "
+        "\"read_timeouts\": %llu, \"bytes_read\": %llu, "
+        "\"bytes_written\": %llu}, "
+        "\"cache\": {\"enabled\": %s, \"hits\": %llu, \"misses\": %llu}, "
+        "\"faults_injected\": %llu}",
+        snapshot_path.c_str(), model_name.c_str(), server.port(),
+        server_options.worker_threads, batcher != nullptr ? "true" : "false",
+        elapsed, static_cast<unsigned long long>(stats.accepted),
+        static_cast<unsigned long long>(stats.shed),
+        static_cast<unsigned long long>(stats.requests),
+        static_cast<unsigned long long>(stats.responses),
+        static_cast<unsigned long long>(stats.protocol_errors),
+        static_cast<unsigned long long>(stats.read_timeouts),
+        static_cast<unsigned long long>(stats.bytes_read),
+        static_cast<unsigned long long>(stats.bytes_written),
+        cache != nullptr ? "true" : "false",
+        static_cast<unsigned long long>(cache_stats.hits),
+        static_cast<unsigned long long>(cache_stats.misses),
+        static_cast<unsigned long long>(
+            fault::FaultRegistry::Global().TotalInjected()));
+    std::printf("%s\n", summary.c_str());
+    const std::string summary_out = flags.GetString("summary_out", "");
+    if (!summary_out.empty()) {
+      if (auto status = util::WriteFileAtomic(summary_out, summary + "\n");
+          !status.ok()) {
+        return Fail(status);
+      }
+    }
+    if (admin != nullptr) admin->Stop();
+    obs::FlushArtifacts();
+    return 0;
+  }
+
+  // ---- Replay mode: in-process scripted or synthetic stream. -----------
+  const auto default_k = static_cast<uint32_t>(flags.GetInt("k", 10));
+  std::vector<net::StreamRequest> requests;
+  const std::string requests_path = flags.GetString("requests", "");
+  if (!requests_path.empty()) {
+    auto loaded = net::LoadRequestScript(requests_path, num_users, default_k);
+    if (!loaded.ok()) return Fail(loaded.status());
+    requests = std::move(loaded).value();
+  } else {
+    requests = net::SyntheticStream(
+        num_users, static_cast<size_t>(flags.GetInt("num_requests", 10000)),
+        default_k, flags.GetDouble("zipf", 0.9),
+        static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  }
+
   size_t clients = static_cast<size_t>(flags.GetInt("clients", 0));
   if (clients == 0) {
-    clients = std::max(1u, std::thread::hardware_concurrency());
+    clients = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
   clients = std::min(clients, requests.size());
   const double qps_target = flags.GetDouble("qps", 0.0);
@@ -352,7 +366,7 @@ int main(int argc, char** argv) {
   // request's fault token is its stream index, so injected outcomes are
   // independent of thread scheduling.
   std::vector<std::vector<int64_t>> latencies_ns(clients);
-  std::vector<Outcomes> outcomes_per_client(clients);
+  std::vector<net::Outcomes> outcomes_per_client(clients);
   std::vector<std::thread> threads;
   threads.reserve(clients);
   const util::WallTimer replay_timer;
@@ -376,7 +390,7 @@ int main(int argc, char** argv) {
                 std::chrono::steady_clock::duration>(
                 std::chrono::duration<double>(per_thread_period_s));
           }
-          const Request& r = requests[i];
+          const net::StreamRequest& r = requests[i];
           // One trace id per request (stream index + 1 so 0 stays "none"):
           // every span below — and the batcher workers, via the context
           // captured in Submit() — tags with it, and latency-histogram
@@ -416,38 +430,26 @@ int main(int argc, char** argv) {
   }
   const double elapsed = replay_timer.ElapsedSeconds();
 
-  Outcomes outcomes;
-  for (const Outcomes& o : outcomes_per_client) {
-    outcomes.ok += o.ok;
-    outcomes.degraded += o.degraded;
-    outcomes.deadline_exceeded += o.deadline_exceeded;
-    outcomes.shed += o.shed;
-    outcomes.error += o.error;
-  }
+  net::Outcomes outcomes;
+  for (const net::Outcomes& o : outcomes_per_client) outcomes += o;
 
   std::vector<int64_t> all_ns;
   all_ns.reserve(requests.size());
   for (const auto& per_client : latencies_ns) {
     all_ns.insert(all_ns.end(), per_client.begin(), per_client.end());
   }
-  std::sort(all_ns.begin(), all_ns.end());
+  const net::LatencySummary latency = net::SummarizeLatencies(&all_ns);
   const double qps =
       elapsed > 0.0 ? static_cast<double>(all_ns.size()) / elapsed : 0.0;
-  double mean_us = 0.0;
-  for (const int64_t ns : all_ns) mean_us += static_cast<double>(ns);
-  mean_us = all_ns.empty() ? 0.0 : mean_us / static_cast<double>(all_ns.size()) / 1e3;
-  const double p50 = PercentileUs(all_ns, 50.0);
-  const double p95 = PercentileUs(all_ns, 95.0);
-  const double p99 = PercentileUs(all_ns, 99.0);
 
   serve::ResultCache::Stats cache_stats;
   if (cache != nullptr) cache_stats = cache->GetStats();
   const double hit_rate = cache != nullptr ? cache->HitRate() : 0.0;
 
   HOSR_GAUGE("serve/replay_qps").Set(qps);
-  HOSR_GAUGE("serve/replay_p50_us").Set(p50);
-  HOSR_GAUGE("serve/replay_p95_us").Set(p95);
-  HOSR_GAUGE("serve/replay_p99_us").Set(p99);
+  HOSR_GAUGE("serve/replay_p50_us").Set(latency.p50_us);
+  HOSR_GAUGE("serve/replay_p95_us").Set(latency.p95_us);
+  HOSR_GAUGE("serve/replay_p99_us").Set(latency.p99_us);
   HOSR_GAUGE("serve/cache_hit_rate").Set(hit_rate);
 
   const uint64_t faults_injected =
@@ -466,7 +468,8 @@ int main(int argc, char** argv) {
       snapshot_path.c_str(), model_name.c_str(), num_users, num_items, dim,
       all_ns.size(), clients, batcher != nullptr ? "true" : "false",
       hardened.deadline_ms, elapsed,
-      qps, mean_us, p50, p95, p99, cache != nullptr ? "true" : "false",
+      qps, latency.mean_us, latency.p50_us, latency.p95_us, latency.p99_us,
+      cache != nullptr ? "true" : "false",
       static_cast<unsigned long long>(cache_stats.hits),
       static_cast<unsigned long long>(cache_stats.misses),
       static_cast<unsigned long long>(cache_stats.evictions), hit_rate,
