@@ -38,9 +38,15 @@ std::string ErrorResponseFrame(const util::Status& status) {
 }  // namespace
 
 NetServer::NetServer(Options options) : options_(options) {
-  HOSR_CHECK(options_.engine != nullptr) << "NetServer needs an engine";
-  HOSR_CHECK(options_.executor != nullptr || options_.batcher != nullptr)
-      << "NetServer needs an executor or a batcher";
+  HOSR_CHECK(options_.engine != nullptr || options_.manager != nullptr)
+      << "NetServer needs an engine or a snapshot manager";
+  HOSR_CHECK(options_.executor != nullptr || options_.batcher != nullptr ||
+             options_.manager != nullptr)
+      << "NetServer needs an executor, a batcher, or a snapshot manager";
+  // The batcher holds one fixed engine for its lifetime; it cannot follow
+  // a hot swap.
+  HOSR_CHECK(options_.batcher == nullptr || options_.manager == nullptr)
+      << "NetServer cannot combine a batcher with a snapshot manager";
   HOSR_CHECK(options_.worker_threads > 0);
 }
 
@@ -128,14 +134,14 @@ void NetServer::Stop() {
   workers_.clear();
   // Accepted-but-never-claimed connections carry no in-flight requests;
   // tell them the server is gone with a clean wire status, then close.
-  std::deque<int> leftover;
+  std::deque<std::pair<int, int64_t>> leftover;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     leftover.swap(pending_);
   }
   const std::string drain_frame = ErrorResponseFrame(
       util::Status::Unavailable("server draining"));
-  for (const int fd : leftover) {
+  for (const auto& [fd, enqueue_ns] : leftover) {
     SetSendTimeoutMs(fd, options_.write_timeout_ms);
     (void)SendAll(fd, drain_frame);
     close(fd);
@@ -146,6 +152,8 @@ NetServer::Stats NetServer::GetStats() const {
   Stats stats;
   stats.accepted = accepted_.load(std::memory_order_relaxed);
   stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.delay_shed = delay_shed_.load(std::memory_order_relaxed);
+  stats.breaker_rejected = breaker_rejected_.load(std::memory_order_relaxed);
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.responses = responses_.load(std::memory_order_relaxed);
   stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
@@ -163,18 +171,32 @@ void NetServer::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // listener socket is gone
     }
-    // Injected accept failures and accept-queue overload shed identically:
-    // one clean status frame on the wire, then close — a remote client
-    // sees admission control, not a hang or a reset.
+    // Injected accept failures, accept-queue overload, and queue-delay
+    // admission shed identically: one clean status frame on the wire, then
+    // close — a remote client sees admission control, not a hang or a
+    // reset.
     util::Status verdict = fault::Inject("net.accept");
     if (verdict.ok()) {
       std::lock_guard<std::mutex> lock(queue_mutex_);
-      if (pending_.size() >= options_.max_pending_conns) {
+      if (pending_.empty()) {
+        // Workers are keeping up right now: whatever wait the last storm
+        // produced, this connection will not see it. Forget fast so a
+        // stale estimate cannot shed the first request of a quiet period.
+        queue_delay_.Decay();
+      }
+      if (options_.max_queue_delay_ms > 0.0 &&
+          queue_delay_.value_ms() > options_.max_queue_delay_ms) {
+        verdict = util::Status::ResourceExhausted(util::StrFormat(
+            "queue delay %.1fms exceeds %.1fms bound",
+            queue_delay_.value_ms(), options_.max_queue_delay_ms));
+        delay_shed_.fetch_add(1, std::memory_order_relaxed);
+        HOSR_COUNTER("net/delay_shed").Increment();
+      } else if (pending_.size() >= options_.max_pending_conns) {
         verdict = util::Status::ResourceExhausted(util::StrFormat(
             "accept queue full (%zu connections pending)",
             pending_.size()));
       } else {
-        pending_.push_back(fd);
+        pending_.emplace_back(fd, obs::NowNanos());
       }
     }
     if (!verdict.ok()) {
@@ -201,8 +223,13 @@ void NetServer::WorkerLoop() {
                !pending_.empty();
       });
       if (stopping_.load(std::memory_order_relaxed)) return;
-      fd = pending_.front();
+      const auto [claimed, enqueue_ns] = pending_.front();
       pending_.pop_front();
+      fd = claimed;
+      const double waited_ms =
+          static_cast<double>(obs::NowNanos() - enqueue_ns) / 1e6;
+      queue_delay_.Record(waited_ms);
+      HOSR_GAUGE("net/queue_delay_ms").Set(queue_delay_.value_ms());
     }
     ServeConnection(fd);
     close(fd);
@@ -269,13 +296,28 @@ bool NetServer::ServeOneFrame(int fd) {
   HOSR_COUNTER("net/bytes_read")
       .Increment(kFrameHeaderSize + frame->payload.size());
 
+  // One atomic load pins this frame's serving generation: everything below
+  // — ranking, fallback, scores, cache key — comes from this state even if
+  // a hot swap lands mid-request. The shared_ptr keeps the old engine
+  // alive until the response is on the wire.
+  std::shared_ptr<const serve::ServingState> state;
+  const serve::InferenceEngine* engine = options_.engine;
+  const serve::HardenedExecutor* executor = options_.executor;
+  uint64_t generation = 0;
+  if (options_.manager != nullptr) {
+    state = options_.manager->Acquire();
+    engine = &state->engine();
+    executor = &state->executor();
+    generation = state->version();
+  }
+
   switch (static_cast<FrameType>(frame->type)) {
     case FrameType::kInfo: {
       ServerInfo info;
-      info.num_users = options_.engine->num_users();
-      info.num_items = options_.engine->num_items();
-      info.dim = options_.engine->dim();
-      info.model_name = options_.engine->snapshot().model_name;
+      info.num_users = engine->num_users();
+      info.num_items = engine->num_items();
+      info.dim = engine->dim();
+      info.model_name = engine->snapshot().model_name;
       return WriteResponseFrame(
           fd, EncodeFrame(FrameType::kInfoReply,
                                 EncodeServerInfo(info)));
@@ -303,6 +345,21 @@ bool NetServer::ServeOneFrame(int fd) {
   HOSR_COUNTER("net/requests").Increment();
   const int64_t begin_ns = obs::NowNanos();
 
+  if (options_.breaker != nullptr && !options_.breaker->Admit()) {
+    // Fast-fail without touching the backend; the connection stays open —
+    // the peer got a clean answer, not a drop. Breaker rejections are NOT
+    // reported as outcomes (they would pin the window at 100% failure).
+    breaker_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (!WriteResponseFrame(
+            fd, ErrorResponseFrame(util::Status::ResourceExhausted(
+                    "circuit breaker open")))) {
+      return false;
+    }
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    HOSR_COUNTER("net/responses").Increment();
+    return true;
+  }
+
   // The wire trace id scopes every span/exemplar this request produces —
   // and doubles as the fault token, so injected engine outcomes are a pure
   // function of the request stream, independent of which worker runs it.
@@ -327,19 +384,24 @@ bool NetServer::ServeOneFrame(int fd) {
                    .get();
     } else {
       if (options_.cache != nullptr) {
-        if (auto hit = options_.cache->Get(request->user, request->k)) {
+        if (auto hit =
+                options_.cache->Get(request->user, request->k, generation)) {
           served = serve::ServeResponse{std::move(*hit), /*degraded=*/false};
           from_cache = true;
         }
       }
       if (!from_cache) {
-        served = options_.executor->Execute(request->user, request->k, token,
-                                            deadline);
+        served = executor->Execute(request->user, request->k, token,
+                                   deadline);
         if (served.ok() && !served->degraded && options_.cache != nullptr) {
-          options_.cache->Put(request->user, request->k, served->items);
+          options_.cache->Put(request->user, request->k, served->items,
+                              generation);
         }
       }
     }
+  }
+  if (options_.breaker != nullptr) {
+    options_.breaker->ReportOutcome(/*failed=*/!served.ok());
   }
 
   QueryResponse response;
@@ -351,7 +413,7 @@ bool NetServer::ServeOneFrame(int fd) {
     response.scores.reserve(response.items.size());
     for (const uint32_t item : response.items) {
       response.scores.push_back(
-          options_.engine->snapshot().Score(request->user, item));
+          engine->snapshot().Score(request->user, item));
     }
   } else {
     response.status_code = static_cast<uint32_t>(served.status().code());

@@ -7,12 +7,15 @@
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "serve/batcher.h"
 #include "serve/cache.h"
 #include "serve/engine.h"
 #include "serve/hardened.h"
+#include "serve/overload.h"
+#include "serve/reload.h"
 #include "util/status.h"
 
 namespace hosr::net {
@@ -37,7 +40,26 @@ namespace hosr::net {
 // net.accept fault point fires) the acceptor sheds the connection on the
 // wire — one ResourceExhausted response frame, then close — so remote
 // clients see admission control as a clean status, exactly like the
-// batcher's queue shedding.
+// batcher's queue shedding. Two adaptive layers stack on top of that
+// fixed bound (docs/ROBUSTNESS.md "Hot reload & overload control"):
+//   - queue-delay admission: the acceptor tracks a QueueDelayEwma of how
+//     long claimed connections actually waited for a worker; when the
+//     smoothed wait exceeds max_queue_delay_ms, new connections shed at
+//     the wire with ResourceExhausted *before* joining the queue — a
+//     connection whose queue wait alone implies a deadline miss is
+//     refused instead of slow-failed;
+//   - circuit breaker: when Options::breaker is set, each query frame
+//     passes CircuitBreaker::Admit() before executing; a rejected request
+//     is answered ResourceExhausted on the wire (connection stays open)
+//     and every executed request's outcome feeds the breaker window, so
+//     a sustained failure storm trips it into fast-fail until half-open
+//     probes prove the backend recovered.
+//
+// Hot swap: with Options::manager set, every frame acquires the current
+// ServingState (one atomic shared_ptr load) and serves entirely from that
+// state's engine + executor; the cache is keyed by the state's snapshot
+// version. A snapshot swap between two frames of one connection is
+// seamless — the in-flight frame finishes on the state it acquired.
 //
 // Graceful drain: Stop() refuses new accepts, completes (and answers)
 // every request already read off a socket, lets each worker finish the
@@ -68,10 +90,24 @@ class NetServer {
     // Serving pipeline (all borrowed, must outlive the server). Exactly
     // one of batcher/executor is used per request: batcher when non-null,
     // else cache (optional) + executor.
-    const serve::InferenceEngine* engine = nullptr;   // required
-    const serve::HardenedExecutor* executor = nullptr;  // required unless batcher
+    const serve::InferenceEngine* engine = nullptr;   // required unless manager
+    const serve::HardenedExecutor* executor = nullptr;  // required unless batcher/manager
     serve::RequestBatcher* batcher = nullptr;
     serve::ResultCache* cache = nullptr;
+
+    // Hot-swap source: when set, every frame serves from
+    // manager->Acquire() instead of the fixed engine/executor (which may
+    // then be null). Incompatible with batcher, which holds a fixed
+    // engine for its lifetime.
+    const serve::SnapshotManager* manager = nullptr;
+
+    // Per-request circuit breaker; null disables. Borrowed.
+    serve::CircuitBreaker* breaker = nullptr;
+
+    // Queue-delay admission bound: when > 0 and the smoothed worker-claim
+    // wait exceeds this many milliseconds, the acceptor sheds new
+    // connections with ResourceExhausted. 0 disables.
+    double max_queue_delay_ms = 0.0;
   };
 
   explicit NetServer(Options options);
@@ -94,6 +130,8 @@ class NetServer {
   struct Stats {
     uint64_t accepted = 0;         // connections handed to the worker pool
     uint64_t shed = 0;             // connections refused with ResourceExhausted
+    uint64_t delay_shed = 0;       // subset of shed: queue-delay admission
+    uint64_t breaker_rejected = 0; // query frames fast-failed by the breaker
     uint64_t requests = 0;         // query frames fully read
     uint64_t responses = 0;        // response frames fully written
     uint64_t protocol_errors = 0;  // malformed frames / bad payloads
@@ -124,10 +162,15 @@ class NetServer {
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<int> pending_;
+  // (fd, enqueue nanos) — the timestamp feeds the queue-delay estimator
+  // when a worker claims the connection.
+  std::deque<std::pair<int, int64_t>> pending_;
+  serve::QueueDelayEwma queue_delay_;
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> delay_shed_{0};
+  std::atomic<uint64_t> breaker_rejected_{0};
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> responses_{0};
   std::atomic<uint64_t> protocol_errors_{0};

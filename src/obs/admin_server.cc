@@ -89,6 +89,14 @@ void HealthTracker::ReportOutcome(bool failed) {
   }
 }
 
+void HealthTracker::ReportReload(bool ok) {
+  if (ok) {
+    reload_reject_streak_.store(0, std::memory_order_relaxed);
+  } else {
+    reload_reject_streak_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 double HealthTracker::FailureRate() const {
   const uint64_t failed = failed_.load(std::memory_order_relaxed);
   const uint64_t total = failed + ok_.load(std::memory_order_relaxed);
@@ -97,6 +105,10 @@ double HealthTracker::FailureRate() const {
 }
 
 bool HealthTracker::healthy() const {
+  if (reload_reject_streak_.load(std::memory_order_relaxed) >=
+      kReloadDegradedStreak) {
+    return false;
+  }
   const uint64_t failed = failed_.load(std::memory_order_relaxed);
   const uint64_t total = failed + ok_.load(std::memory_order_relaxed);
   if (total < kMinSamples) return true;
@@ -109,6 +121,7 @@ void HealthTracker::ResetForTesting() {
   ready_.store(false, std::memory_order_relaxed);
   ok_.store(0, std::memory_order_relaxed);
   failed_.store(0, std::memory_order_relaxed);
+  reload_reject_streak_.store(0, std::memory_order_relaxed);
 }
 
 AdminServer::AdminServer(Options options) : options_(options) {}
@@ -206,6 +219,11 @@ void AdminServer::SetVar(std::string_view key, std::string_view value) {
   vars_[std::string(key)] = std::string(value);
 }
 
+void AdminServer::SetReloadHandler(std::function<HttpResponse()> handler) {
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  reload_handler_ = std::move(handler);
+}
+
 void AdminServer::ListenLoop() {
   while (!stopping_.load(std::memory_order_relaxed)) {
     const int fd = accept(listen_fd_, nullptr, nullptr);
@@ -254,8 +272,10 @@ HttpResponse AdminServer::HandlePath(std::string_view path) const {
     const bool healthy = health.healthy();
     if (!healthy) response.status_code = 503;
     response.body = util::StrFormat(
-        "{\"status\": \"%s\", \"failure_rate\": %.4f}\n",
-        healthy ? "ok" : "degraded", health.FailureRate());
+        "{\"status\": \"%s\", \"failure_rate\": %.4f, "
+        "\"reload_reject_streak\": %llu}\n",
+        healthy ? "ok" : "degraded", health.FailureRate(),
+        static_cast<unsigned long long>(health.reload_reject_streak()));
   } else if (path == "/readyz") {
     const bool ready = HealthTracker::Global().ready();
     if (!ready) response.status_code = 503;
@@ -295,15 +315,45 @@ HttpResponse AdminServer::HandlePath(std::string_view path) const {
       }
     }
     response.body = SpansToJson(NewestSpans(limit));
+  } else if (path == "/reloadz") {
+    response.status_code = 405;
+    response.body = "{\"error\": \"/reloadz requires POST\"}\n";
   } else {
     response.status_code = 404;
     response.body = util::StrFormat(
         "{\"error\": \"no such endpoint: %s\", \"endpoints\": "
         "[\"/metricsz\", \"/healthz\", \"/readyz\", \"/varz\", "
-        "\"/tracez\"]}\n",
+        "\"/tracez\", \"/reloadz (POST)\"]}\n",
         JsonEscapeString(path).c_str());
   }
   return response;
+}
+
+HttpResponse AdminServer::HandlePost(std::string_view path) const {
+  if (const size_t query = path.find('?'); query != std::string_view::npos) {
+    path = path.substr(0, query);
+  }
+  HttpResponse response;
+  if (path != "/reloadz") {
+    response.status_code = 404;
+    response.body = util::StrFormat(
+        "{\"error\": \"no such POST endpoint: %s\"}\n",
+        JsonEscapeString(path).c_str());
+    return response;
+  }
+  std::function<HttpResponse()> handler;
+  {
+    std::lock_guard<std::mutex> lock(reload_mutex_);
+    handler = reload_handler_;
+  }
+  if (!handler) {
+    response.status_code = 404;
+    response.body = "{\"error\": \"reload is not enabled on this host\"}\n";
+    return response;
+  }
+  // Runs on this handler thread: a slow snapshot load occupies an admin
+  // handler, never a serving worker.
+  return handler();
 }
 
 void AdminServer::ServeConnection(int fd) const {
@@ -327,17 +377,19 @@ void AdminServer::ServeConnection(int fd) const {
 
   HttpResponse response;
   const size_t method_end = line.find(' ');
-  if (method_end == std::string_view::npos ||
-      line.substr(0, method_end) != "GET") {
+  const std::string_view method =
+      method_end == std::string_view::npos ? std::string_view()
+                                           : line.substr(0, method_end);
+  if (method != "GET" && method != "POST") {
     response.status_code = 405;
-    response.body = "{\"error\": \"only GET is supported\"}\n";
+    response.body = "{\"error\": \"only GET and POST are supported\"}\n";
   } else {
     std::string_view target = line.substr(method_end + 1);
     if (const size_t space = target.find(' ');
         space != std::string_view::npos) {
       target = target.substr(0, space);
     }
-    response = HandlePath(target);
+    response = method == "GET" ? HandlePath(target) : HandlePost(target);
   }
   if (response.status_code != 200) {
     HOSR_COUNTER("admin/request_errors").Increment();
@@ -355,7 +407,11 @@ void AdminServer::ServeConnection(int fd) const {
   if (SendAll(fd, header)) SendAll(fd, response.body);
 }
 
-util::StatusOr<HttpResponse> AdminHttpGet(int port, const std::string& path) {
+namespace {
+
+util::StatusOr<HttpResponse> AdminHttpRoundTrip(int port,
+                                                const std::string& method,
+                                                const std::string& path) {
   // The shared socket helpers bound every phase — connect, send, and each
   // recv — so a probe against a wedged or half-up server fails in bounded
   // time instead of pinning the calling thread.
@@ -366,9 +422,9 @@ util::StatusOr<HttpResponse> AdminHttpGet(int port, const std::string& path) {
   net::ScopedFd fd(connected.value());
   net::SetRecvTimeoutMs(fd.get(), kSocketTimeoutSeconds * 1000);
   net::SetSendTimeoutMs(fd.get(), kSocketTimeoutSeconds * 1000);
-  const std::string request =
-      util::StrFormat("GET %s HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n",
-                      path.c_str());
+  const std::string request = util::StrFormat(
+      "%s %s HTTP/1.0\r\nHost: 127.0.0.1\r\nContent-Length: 0\r\n\r\n",
+      method.c_str(), path.c_str());
   if (util::Status sent = net::SendAll(fd.get(), request); !sent.ok()) {
     return sent;
   }
@@ -402,6 +458,17 @@ util::StatusOr<HttpResponse> AdminHttpGet(int port, const std::string& path) {
   }
   response.body = raw.substr(body_start + 4);
   return response;
+}
+
+}  // namespace
+
+util::StatusOr<HttpResponse> AdminHttpGet(int port, const std::string& path) {
+  return AdminHttpRoundTrip(port, "GET", path);
+}
+
+util::StatusOr<HttpResponse> AdminHttpPost(int port,
+                                           const std::string& path) {
+  return AdminHttpRoundTrip(port, "POST", path);
 }
 
 }  // namespace hosr::obs

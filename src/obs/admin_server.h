@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -26,6 +27,11 @@ namespace hosr::obs {
 //    (deadline-exceeded and shed count as failures) and a sustained failure
 //    rate over the recent-outcome window flips health to degraded. Health
 //    recovers automatically once the windowed rate drops back down.
+//  * Snapshot reloads report too: a streak of kReloadDegradedStreak
+//    consecutive rejected reloads flips health to degraded — the serving
+//    answers may still be fine, but the model is stuck on a stale snapshot
+//    and an operator should look (docs/ROBUSTNESS.md runbook). One
+//    successful reload clears the streak.
 class HealthTracker {
  public:
   // Window halves once ok+failed reaches 2*kWindow, so the rate tracks
@@ -36,6 +42,8 @@ class HealthTracker {
   static constexpr uint64_t kMinSamples = 32;
   // Windowed failure rate at or above this flips /healthz to degraded/503.
   static constexpr double kDegradedThreshold = 0.5;
+  // Consecutive rejected snapshot reloads that flip /healthz to degraded.
+  static constexpr uint64_t kReloadDegradedStreak = 2;
 
   static HealthTracker& Global();
 
@@ -47,6 +55,13 @@ class HealthTracker {
   // `failed` = the request ended deadline-exceeded, shed, or errored.
   void ReportOutcome(bool failed);
 
+  // `ok` = a snapshot reload swapped successfully (clears the reject
+  // streak); false = the candidate was rejected by the validation gate.
+  void ReportReload(bool ok);
+  uint64_t reload_reject_streak() const {
+    return reload_reject_streak_.load(std::memory_order_relaxed);
+  }
+
   bool healthy() const;
   // Windowed failure rate in [0, 1] (0 when no outcomes reported yet).
   double FailureRate() const;
@@ -57,6 +72,7 @@ class HealthTracker {
   std::atomic<bool> ready_{false};
   std::atomic<uint64_t> ok_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> reload_reject_streak_{0};
   std::mutex decay_mutex_;
 };
 
@@ -67,14 +83,18 @@ struct HttpResponse {
 };
 
 // Dependency-free blocking HTTP/1.0 admin endpoint: one listener thread
-// accepts loopback connections and a small handler pool serves them. Only
-// GET is supported; every response closes the connection. Endpoints:
+// accepts loopback connections and a small handler pool serves them. GET
+// plus one mutating verb, POST /reloadz; every response closes the
+// connection. Endpoints:
 //
 //   /metricsz  metrics registry JSON (same schema as --metrics_out)
 //   /healthz   {"status": "ok"|"degraded", ...}; 503 when degraded
 //   /readyz    {"ready": true|false}; 503 until the host flips readiness
 //   /varz      build/runtime info: host-set vars + uptime + port
 //   /tracez    recent spans as Chrome trace_event JSON (same as --trace_out)
+//   /reloadz   POST only: runs the host-registered reload handler
+//              (hosr_serve wires SnapshotManager::ReloadNow) and answers
+//              200 on swap / 503 on reject; 404 when no handler is set
 //
 // The server reads shared observability state (registry, trace buffers,
 // HealthTracker) through their own thread-safe interfaces, so it can run
@@ -108,9 +128,17 @@ class AdminServer {
   // info arrives through here.)
   void SetVar(std::string_view key, std::string_view value);
 
+  // Registers the POST /reloadz action. The handler runs on an admin
+  // handler thread (never a serving thread) and returns the full HTTP
+  // response; an empty function unregisters.
+  void SetReloadHandler(std::function<HttpResponse()> handler);
+
   // Renders the response for an endpoint path without a socket round trip
   // (the transport-independent core of the handler; exposed for tests).
   HttpResponse HandlePath(std::string_view path) const;
+
+  // Same, for POST requests (today: /reloadz only).
+  HttpResponse HandlePost(std::string_view path) const;
 
  private:
   void ListenLoop();
@@ -134,6 +162,9 @@ class AdminServer {
 
   mutable std::mutex vars_mutex_;
   std::map<std::string, std::string, std::less<>> vars_;
+
+  mutable std::mutex reload_mutex_;
+  std::function<HttpResponse()> reload_handler_;
 };
 
 // Minimal blocking HTTP/1.0 GET against 127.0.0.1:<port> — the client half
@@ -142,6 +173,10 @@ class AdminServer {
 // errors are an OK status with the response's status_code set (503 from
 // /healthz is a successful round trip).
 util::StatusOr<HttpResponse> AdminHttpGet(int port, const std::string& path);
+
+// POST counterpart (empty body) — used to fire /reloadz from tests and the
+// soak harness.
+util::StatusOr<HttpResponse> AdminHttpPost(int port, const std::string& path);
 
 }  // namespace hosr::obs
 

@@ -23,7 +23,8 @@ ResultCache::ResultCache(Options options) : capacity_(options.capacity) {
 }
 
 std::optional<std::vector<uint32_t>> ResultCache::Get(uint32_t user,
-                                                      uint32_t k) {
+                                                      uint32_t k,
+                                                      uint64_t generation) {
   const uint64_t key = Key(user, k);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
@@ -33,24 +34,43 @@ std::optional<std::vector<uint32_t>> ResultCache::Get(uint32_t user,
     HOSR_COUNTER("serve/cache_misses").Increment();
     return std::nullopt;
   }
+  if (it->second->second.generation != generation) {
+    // Written under a different snapshot: never serve it, reclaim now.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.stale_hits;
+    ++shard.misses;
+    HOSR_COUNTER("serve/cache_stale_hits").Increment();
+    HOSR_COUNTER("serve/cache_misses").Increment();
+    return std::nullopt;
+  }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   ++shard.hits;
   HOSR_COUNTER("serve/cache_hits").Increment();
-  return it->second->second;
+  return it->second->second.items;
 }
 
-void ResultCache::Put(uint32_t user, uint32_t k,
-                      std::vector<uint32_t> items) {
+void ResultCache::Put(uint32_t user, uint32_t k, std::vector<uint32_t> items,
+                      uint64_t generation) {
+  if (generation != generation_.load(std::memory_order_acquire)) {
+    // Computed under a snapshot the cache has moved past; storing it would
+    // re-poison the cache with pre-swap scores.
+    Shard& shard = ShardFor(Key(user, k));
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.stale_puts;
+    HOSR_COUNTER("serve/cache_stale_puts").Increment();
+    return;
+  }
   const uint64_t key = Key(user, k);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    it->second->second = std::move(items);
+    it->second->second = Entry{generation, std::move(items)};
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.emplace_front(key, std::move(items));
+  shard.lru.emplace_front(key, Entry{generation, std::move(items)});
   shard.index.emplace(key, shard.lru.begin());
   if (shard.lru.size() > per_shard_capacity_) {
     shard.index.erase(shard.lru.back().first);
@@ -58,6 +78,10 @@ void ResultCache::Put(uint32_t user, uint32_t k,
     ++shard.evictions;
     HOSR_COUNTER("serve/cache_evictions").Increment();
   }
+}
+
+void ResultCache::Advance(uint64_t generation) {
+  generation_.store(generation, std::memory_order_release);
 }
 
 void ResultCache::Clear() {
@@ -75,6 +99,8 @@ ResultCache::Stats ResultCache::GetStats() const {
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.evictions += shard.evictions;
+    stats.stale_hits += shard.stale_hits;
+    stats.stale_puts += shard.stale_puts;
     stats.entries += shard.lru.size();
   }
   return stats;

@@ -1,6 +1,7 @@
 #ifndef HOSR_SERVE_CACHE_H_
 #define HOSR_SERVE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -15,6 +16,14 @@ namespace hosr::serve {
 // owns an independent mutex + intrusive LRU list, so concurrent request
 // threads rarely contend. Hit/miss/eviction totals feed both local Stats
 // and the serve/cache_* obs counters.
+//
+// Entries are tagged with a snapshot generation. Advance() (called by the
+// SnapshotManager on every swap) bumps the cache's current generation:
+// entries from older generations become misses and are evicted on touch,
+// and a Put computed under an older generation is dropped instead of
+// stored. The drop closes the race flush-on-swap leaves open — a request
+// that ranked under the old engine but reached Put after the swap would
+// otherwise re-poison the cache with pre-swap scores.
 class ResultCache {
  public:
   struct Options {
@@ -29,11 +38,26 @@ class ResultCache {
   ResultCache& operator=(const ResultCache&) = delete;
 
   // The cached list for (user, k), refreshing its recency; nullopt on miss.
-  std::optional<std::vector<uint32_t>> Get(uint32_t user, uint32_t k);
+  // `generation` is the snapshot generation the caller is serving from
+  // (the acquired ServingState's version; 0 for ungenerationed use): an
+  // entry written under any other generation is evicted and misses.
+  std::optional<std::vector<uint32_t>> Get(uint32_t user, uint32_t k,
+                                           uint64_t generation = 0);
 
   // Inserts or refreshes (user, k), evicting the shard's least recently
-  // used entry when over budget.
-  void Put(uint32_t user, uint32_t k, std::vector<uint32_t> items);
+  // used entry when over budget. `generation` is the generation the result
+  // was *computed* under — if the cache has advanced past it since, the
+  // value is stale and silently dropped.
+  void Put(uint32_t user, uint32_t k, std::vector<uint32_t> items,
+           uint64_t generation = 0);
+
+  // Declares `generation` current (snapshot swap). Older entries die
+  // lazily on their next touch; older in-flight Puts are dropped.
+  void Advance(uint64_t generation);
+
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   // Drops every entry (e.g. after a snapshot swap). Stats are kept.
   void Clear();
@@ -42,6 +66,8 @@ class ResultCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    uint64_t stale_hits = 0;   // generation-mismatched lookups (evicted)
+    uint64_t stale_puts = 0;   // Puts dropped for lagging the generation
     size_t entries = 0;
   };
   Stats GetStats() const;
@@ -52,14 +78,20 @@ class ResultCache {
   size_t capacity() const { return capacity_; }
 
  private:
+  struct Entry {
+    uint64_t generation = 0;
+    std::vector<uint32_t> items;
+  };
   struct Shard {
     mutable std::mutex mutex;
     // Front = most recently used.
-    std::list<std::pair<uint64_t, std::vector<uint32_t>>> lru;
+    std::list<std::pair<uint64_t, Entry>> lru;
     std::unordered_map<uint64_t, decltype(lru)::iterator> index;
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    uint64_t stale_hits = 0;
+    uint64_t stale_puts = 0;
   };
 
   static uint64_t Key(uint32_t user, uint32_t k) {
@@ -75,6 +107,7 @@ class ResultCache {
   size_t capacity_;
   size_t per_shard_capacity_;
   unsigned shard_bits_;
+  std::atomic<uint64_t> generation_{0};
   std::vector<Shard> shards_;
 };
 

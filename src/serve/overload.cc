@@ -1,0 +1,139 @@
+#include "serve/overload.h"
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace hosr::serve {
+
+CircuitBreaker::CircuitBreaker(Options options) : options_(options) {
+  HOSR_CHECK(options_.window > 0);
+  HOSR_CHECK(options_.min_samples > 0);
+  HOSR_CHECK(options_.trip_ratio > 0.0);
+  HOSR_CHECK(options_.half_open_probes > 0);
+  ring_.assign(options_.window, 0);
+}
+
+double CircuitBreaker::FailureRatioLocked() const {
+  if (ring_size_ == 0) return 0.0;
+  return static_cast<double>(ring_failed_) / static_cast<double>(ring_size_);
+}
+
+void CircuitBreaker::TransitionLocked(State next) {
+  if (state_ == next) return;
+  state_ = next;
+  HOSR_GAUGE("serve/breaker_state").Set(static_cast<double>(next));
+  if (next == State::kOpen) {
+    trips_ += 1;
+    HOSR_COUNTER("serve/breaker_trips").Increment();
+    opened_at_ = Clock::now();
+    probes_issued_ = 0;
+    probe_successes_ = 0;
+  } else if (next == State::kHalfOpen) {
+    probes_issued_ = 0;
+    probe_successes_ = 0;
+  } else {  // closed again: the storm is over, forget it
+    ring_.assign(options_.window, 0);
+    ring_size_ = 0;
+    ring_next_ = 0;
+    ring_failed_ = 0;
+  }
+}
+
+bool CircuitBreaker::Admit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kOpen) {
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - opened_at_)
+            .count();
+    if (waited_ms < options_.open_ms) {
+      rejected_ += 1;
+      HOSR_COUNTER("serve/breaker_rejected").Increment();
+      return false;
+    }
+    TransitionLocked(State::kHalfOpen);
+  }
+  if (state_ == State::kHalfOpen) {
+    if (probes_issued_ >= options_.half_open_probes) {
+      // Probe budget already in flight; everyone else still sheds until the
+      // probes report back.
+      rejected_ += 1;
+      HOSR_COUNTER("serve/breaker_rejected").Increment();
+      return false;
+    }
+    probes_issued_ += 1;
+    return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::ReportOutcome(bool failed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kHalfOpen) {
+    if (failed) {
+      // The backend is still drowning; a fresh cooldown starts now.
+      TransitionLocked(State::kOpen);
+      return;
+    }
+    probe_successes_ += 1;
+    if (probe_successes_ >= options_.half_open_probes) {
+      TransitionLocked(State::kClosed);
+    }
+    return;
+  }
+  if (state_ == State::kOpen) return;  // stale report from a pre-trip request
+
+  // Closed: slide the window and check the trip condition.
+  if (ring_size_ == options_.window) {
+    ring_failed_ -= ring_[ring_next_];
+  } else {
+    ring_size_ += 1;
+  }
+  ring_[ring_next_] = failed ? 1 : 0;
+  ring_failed_ += failed ? 1 : 0;
+  ring_next_ = (ring_next_ + 1) % options_.window;
+  if (ring_size_ >= options_.min_samples &&
+      FailureRatioLocked() >= options_.trip_ratio) {
+    TransitionLocked(State::kOpen);
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+CircuitBreaker::Stats CircuitBreaker::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.state = state_;
+  stats.rejected = rejected_;
+  stats.trips = trips_;
+  stats.failure_ratio = FailureRatioLocked();
+  stats.samples = ring_size_;
+  return stats;
+}
+
+void QueueDelayEwma::Record(double wait_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!seeded_) {
+    // The first observation seeds the estimate outright: warming up from
+    // zero would read a sudden storm as alpha * wait and under-shed for
+    // the first ~1/alpha connections.
+    value_ms_ = wait_ms;
+    seeded_ = true;
+    return;
+  }
+  value_ms_ = alpha_ * wait_ms + (1.0 - alpha_) * value_ms_;
+}
+
+void QueueDelayEwma::Decay() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  value_ms_ *= 0.5;
+}
+
+double QueueDelayEwma::value_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return value_ms_;
+}
+
+}  // namespace hosr::serve

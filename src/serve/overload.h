@@ -1,0 +1,116 @@
+#ifndef HOSR_SERVE_OVERLOAD_H_
+#define HOSR_SERVE_OVERLOAD_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace hosr::serve {
+
+// Adaptive overload control for the serving front end (docs/ROBUSTNESS.md
+// "Hot reload & overload control"): a sliding-window circuit breaker that
+// fast-fails new work while the backend is drowning, and a queue-delay
+// estimator that turns measured admission-queue wait into an early shed
+// signal. Both are deliberately tiny mutex-guarded state machines — one
+// lock + a ring update per request is noise next to a blocked GEMV — and
+// both are deterministic given a fixed outcome sequence, so tests drive
+// them without sleeping.
+
+// Sliding-window circuit breaker over request outcomes.
+//
+//   Closed    — everything admitted; outcomes land in a fixed-size ring.
+//               When at least `min_samples` of the last `window` outcomes
+//               exist and the failure ratio reaches `trip_ratio`, trip.
+//   Open      — every Admit() refused (callers shed with ResourceExhausted
+//               at the wire) for `open_ms`, then half-open.
+//   Half-open — up to `half_open_probes` requests admitted as probes. Any
+//               probe failure re-opens (fresh cooldown); `half_open_probes`
+//               consecutive successes close the breaker and clear the
+//               window, forgetting the storm.
+//
+// Breaker rejections themselves are never reported back into the window —
+// they would keep the failure ratio pinned and the breaker open forever.
+// The serve/breaker_state gauge mirrors the state (0 closed, 1 open,
+// 2 half-open) and serve/breaker_trips counts Closed->Open transitions.
+class CircuitBreaker {
+ public:
+  enum class State : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  struct Options {
+    size_t window = 256;        // outcomes kept in the sliding ring
+    size_t min_samples = 32;    // below this the breaker never trips
+    double trip_ratio = 0.5;    // windowed failure ratio that trips
+    double open_ms = 250.0;     // cooldown before half-open probing
+    size_t half_open_probes = 8;  // consecutive successes needed to close
+  };
+
+  explicit CircuitBreaker(Options options);
+
+  // True when the request may proceed. False = shed without executing
+  // (counted in Stats::rejected). Thread-safe.
+  bool Admit();
+
+  // Reports one *executed* request's outcome (failed = deadline exceeded,
+  // shed downstream, or hard error). Never report a breaker rejection.
+  void ReportOutcome(bool failed);
+
+  State state() const;
+
+  struct Stats {
+    State state = State::kClosed;
+    uint64_t rejected = 0;      // Admit() == false
+    uint64_t trips = 0;         // Closed/HalfOpen -> Open transitions
+    double failure_ratio = 0.0; // over the current window
+    size_t samples = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // Callers hold mutex_.
+  double FailureRatioLocked() const;
+  void TransitionLocked(State next);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  std::vector<uint8_t> ring_;  // 1 = failed
+  size_t ring_size_ = 0;       // occupied entries (<= options_.window)
+  size_t ring_next_ = 0;       // write cursor
+  size_t ring_failed_ = 0;     // failures currently in the ring
+  Clock::time_point opened_at_{};
+  size_t probes_issued_ = 0;   // half-open: admitted probes
+  size_t probe_successes_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t trips_ = 0;
+};
+
+// Exponentially-weighted estimate of admission-queue wait, in milliseconds.
+// The acceptor records every connection's time-in-queue when a worker claims
+// it; when the smoothed wait exceeds the configured bound, new connections
+// are shed at the wire *before* they pile more latency onto the queue —
+// admission control from measured delay rather than a fixed queue length.
+// Decay() halves the estimate and is called when the queue is observed
+// empty, so a stale storm-era estimate cannot shed the first connection of
+// a quiet period.
+class QueueDelayEwma {
+ public:
+  explicit QueueDelayEwma(double alpha = 0.2) : alpha_(alpha) {}
+
+  void Record(double wait_ms);
+  void Decay();
+  double value_ms() const;
+
+ private:
+  double alpha_;
+  bool seeded_ = false;
+  mutable std::mutex mutex_;
+  double value_ms_ = 0.0;
+};
+
+}  // namespace hosr::serve
+
+#endif  // HOSR_SERVE_OVERLOAD_H_

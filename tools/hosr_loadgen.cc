@@ -14,9 +14,18 @@
 //                [--qps=0]                target rate (0 = max speed)
 //                [--deadline_ms=0]        wire deadline per request
 //                [--connect_timeout_ms=5000] [--read_timeout_ms=30000]
+//                [--reconnect_backoff_ms=0]  backoff before each failed
+//                                         redial (decorrelated jitter via
+//                                         RetryPolicy, reset on success);
+//                                         0 = redial immediately
+//                [--reconnect_backoff_max_ms=250]
 //                [--verify_snapshot=FILE] check every OK answer is
 //                                         bit-identical to a local
 //                                         InferenceEngine over this snapshot
+//                [--verify_snapshot_b=FILE]  hot-swap runs: accept answers
+//                                         matching EITHER snapshot's engine
+//                                         (counted separately as
+//                                         matched_a / matched_b)
 //                [--verify_data=DIR]      seen-item filtering for the
 //                                         verify engine (must match the
 //                                         server's --data)
@@ -33,6 +42,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,6 +51,7 @@
 #include "net/client.h"
 #include "net/stream.h"
 #include "serve/engine.h"
+#include "serve/retry.h"
 #include "serve/snapshot.h"
 #include "util/fileio.h"
 #include "util/flags.h"
@@ -63,16 +74,63 @@ struct WireTally {
   uint64_t closed = 0;    // connection dropped mid-request (server fault/drain)
   uint64_t not_sent = 0;  // reconnect failed; request never hit the wire
   uint64_t reconnects = 0;
+  uint64_t backoff_waits = 0;  // reconnect delays actually slept
   uint64_t verify_failures = 0;
+  uint64_t matched_a = 0;  // verified answers bit-identical to snapshot A
+  uint64_t matched_b = 0;  // ... to snapshot B (--verify_snapshot_b)
 
   WireTally& operator+=(const WireTally& other) {
     outcomes += other.outcomes;
     closed += other.closed;
     not_sent += other.not_sent;
     reconnects += other.reconnects;
+    backoff_waits += other.backoff_waits;
     verify_failures += other.verify_failures;
+    matched_a += other.matched_a;
+    matched_b += other.matched_b;
     return *this;
   }
+};
+
+// Jittered pacing between redial attempts so a fleet of loadgen
+// connections does not hot-spin the accept queue while the server drains
+// or restarts. Decorrelated jitter comes from serve::RetryPolicy; one
+// successful reconnect resets the schedule back to the initial backoff.
+class ReconnectBackoff {
+ public:
+  ReconnectBackoff(double initial_ms, double max_ms, uint64_t seed)
+      : initial_ms_(initial_ms), max_ms_(max_ms), seed_(seed) {
+    Reset();
+  }
+
+  // Sleeps for the next planned delay (no-op when backoff is disabled).
+  // Returns true when it actually slept.
+  bool WaitBeforeRedial() {
+    if (initial_ms_ <= 0.0) return false;
+    double delay_ms = policy_->NextDelayMs();
+    if (delay_ms < 0.0) {
+      // The policy's attempt cap is effectively unreachable; a negative
+      // here means the schedule ran dry anyway — keep waiting at the cap.
+      delay_ms = max_ms_;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        delay_ms));
+    return true;
+  }
+
+  void Reset() {
+    serve::RetryPolicy::Options options;
+    options.max_attempts = 1 << 30;  // paced by the caller's stream, not us
+    options.initial_backoff_ms = initial_ms_;
+    options.max_backoff_ms = max_ms_;
+    policy_.emplace(options, seed_);
+  }
+
+ private:
+  double initial_ms_;
+  double max_ms_;
+  uint64_t seed_;
+  std::optional<serve::RetryPolicy> policy_;
 };
 
 }  // namespace
@@ -118,18 +176,19 @@ int main(int argc, char** argv) {
   // non-degraded, non-cached full answers are compared — those must equal
   // InferenceEngine::TopKForUser exactly (cached answers equal an earlier
   // identical query, and degraded answers come from the fallback ranker).
+  // With --verify_snapshot_b (hot-swap runs) an answer matching EITHER
+  // engine passes; anything matching neither is a verify failure, so a
+  // reply blending two snapshots — the stale-cache hazard — is caught.
   std::unique_ptr<serve::InferenceEngine> verify_engine;
+  std::unique_ptr<serve::InferenceEngine> verify_engine_b;
   const std::string verify_snapshot = flags.GetString("verify_snapshot", "");
+  const std::string verify_snapshot_b =
+      flags.GetString("verify_snapshot_b", "");
+  if (verify_snapshot.empty() && !verify_snapshot_b.empty()) {
+    return Fail(util::Status::InvalidArgument(
+        "--verify_snapshot_b requires --verify_snapshot"));
+  }
   if (!verify_snapshot.empty()) {
-    auto snapshot = serve::LoadSnapshot(verify_snapshot);
-    if (!snapshot.ok()) return Fail(snapshot.status());
-    if (snapshot->num_users() != num_users ||
-        snapshot->num_items() != info->num_items) {
-      return Fail(util::Status::InvalidArgument(util::StrFormat(
-          "verify snapshot %ux%u does not match server %ux%u",
-          snapshot->num_users(), snapshot->num_items(), num_users,
-          info->num_items)));
-    }
     // The oracle must filter the same seen items the server filters, or
     // the comparison is meaningless for any user with training history.
     std::unique_ptr<data::Dataset> verify_dataset;
@@ -140,11 +199,33 @@ int main(int argc, char** argv) {
       verify_dataset =
           std::make_unique<data::Dataset>(std::move(loaded).value());
     }
-    // The engine copies the per-user item lists, so the dataset can die
-    // at the end of this block.
-    verify_engine = std::make_unique<serve::InferenceEngine>(
-        std::move(snapshot).value(),
-        verify_dataset != nullptr ? &verify_dataset->interactions : nullptr);
+    const auto build_oracle =
+        [&](const std::string& path)
+        -> util::StatusOr<std::unique_ptr<serve::InferenceEngine>> {
+      auto snapshot = serve::LoadSnapshot(path);
+      if (!snapshot.ok()) return snapshot.status();
+      if (snapshot->num_users() != num_users ||
+          snapshot->num_items() != info->num_items) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "verify snapshot %s %ux%u does not match server %ux%u",
+            path.c_str(), snapshot->num_users(), snapshot->num_items(),
+            num_users, info->num_items));
+      }
+      // The engine copies the per-user item lists, so the dataset can die
+      // with this scope.
+      return std::make_unique<serve::InferenceEngine>(
+          std::move(snapshot).value(),
+          verify_dataset != nullptr ? &verify_dataset->interactions
+                                    : nullptr);
+    };
+    auto oracle = build_oracle(verify_snapshot);
+    if (!oracle.ok()) return Fail(oracle.status());
+    verify_engine = std::move(oracle).value();
+    if (!verify_snapshot_b.empty()) {
+      auto oracle_b = build_oracle(verify_snapshot_b);
+      if (!oracle_b.ok()) return Fail(oracle_b.status());
+      verify_engine_b = std::move(oracle_b).value();
+    }
   }
 
   size_t connections =
@@ -153,6 +234,10 @@ int main(int argc, char** argv) {
   const double qps_target = flags.GetDouble("qps", 0.0);
   const auto deadline_ms =
       static_cast<uint32_t>(flags.GetInt("deadline_ms", 0));
+  const double backoff_ms = flags.GetDouble("reconnect_backoff_ms", 0.0);
+  const double backoff_max_ms =
+      flags.GetDouble("reconnect_backoff_max_ms", 250.0);
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
 
   std::vector<std::vector<int64_t>> latencies_ns(connections);
   std::vector<WireTally> tallies(connections);
@@ -166,6 +251,7 @@ int main(int argc, char** argv) {
       auto& recorded = latencies_ns[c];
       WireTally& tally = tallies[c];
       recorded.reserve(end - begin);
+      ReconnectBackoff backoff(backoff_ms, backoff_max_ms, seed + c);
       auto client = net::NetClient::Connect(host, port, client_options);
       const double per_conn_period_s =
           qps_target > 0.0 ? static_cast<double>(connections) / qps_target
@@ -179,7 +265,10 @@ int main(int argc, char** argv) {
               std::chrono::duration<double>(per_conn_period_s));
         }
         if (!client.ok() || !client->connected()) {
-          // Redial once per request; a down server costs one tally each.
+          // Redial once per request, pacing with jittered backoff (when
+          // enabled) so a draining server is not hammered; a down server
+          // costs one not_sent tally each.
+          if (backoff.WaitBeforeRedial()) ++tally.backoff_waits;
           if (client.ok()) {
             if (!client->Reconnect().ok()) {
               ++tally.not_sent;
@@ -193,6 +282,7 @@ int main(int argc, char** argv) {
             }
           }
           ++tally.reconnects;
+          backoff.Reset();  // the dial worked; next outage starts small
         }
         const net::StreamRequest& r = requests[i];
         const auto start = std::chrono::steady_clock::now();
@@ -207,8 +297,13 @@ int main(int argc, char** argv) {
           tally.outcomes.CountOk(result->degraded);
           if (verify_engine != nullptr && !result->degraded &&
               !result->served_from_cache) {
-            if (result->items !=
-                verify_engine->TopKForUser(r.user, r.k)) {
+            if (result->items == verify_engine->TopKForUser(r.user, r.k)) {
+              ++tally.matched_a;
+            } else if (verify_engine_b != nullptr &&
+                       result->items ==
+                           verify_engine_b->TopKForUser(r.user, r.k)) {
+              ++tally.matched_b;
+            } else {
               ++tally.verify_failures;
             }
           }
@@ -217,9 +312,14 @@ int main(int argc, char** argv) {
         const util::StatusCode code = result.status().code();
         if (code == util::StatusCode::kUnavailable) {
           // Shed/drain/fault: the server said goodbye cleanly or the
-          // connection died; either way this connection must redial.
+          // connection died; either way this connection must redial —
+          // paced, because a drain window answers every redial this way.
           ++tally.closed;
-          if (client->Reconnect().ok()) ++tally.reconnects;
+          if (backoff.WaitBeforeRedial()) ++tally.backoff_waits;
+          if (client->Reconnect().ok()) {
+            ++tally.reconnects;
+            backoff.Reset();
+          }
         } else {
           tally.outcomes.CountStatus(result.status());
           if (code == util::StatusCode::kDeadlineExceeded ||
@@ -255,7 +355,8 @@ int main(int argc, char** argv) {
       "\"outcomes\": {\"ok\": %llu, \"degraded\": %llu, "
       "\"deadline_exceeded\": %llu, \"shed\": %llu, \"error\": %llu, "
       "\"closed\": %llu, \"not_sent\": %llu}, "
-      "\"reconnects\": %llu, \"verified\": %s, \"verify_failures\": %llu}",
+      "\"reconnects\": %llu, \"backoff_waits\": %llu, \"verified\": %s, "
+      "\"verify_failures\": %llu, \"matched_a\": %llu, \"matched_b\": %llu}",
       host.c_str(), port, requests.size(), connections, deadline_ms,
       elapsed, qps, latency.mean_us, latency.p50_us, latency.p95_us,
       latency.p99_us,
@@ -267,8 +368,11 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(total.closed),
       static_cast<unsigned long long>(total.not_sent),
       static_cast<unsigned long long>(total.reconnects),
+      static_cast<unsigned long long>(total.backoff_waits),
       verify_engine != nullptr ? "true" : "false",
-      static_cast<unsigned long long>(total.verify_failures));
+      static_cast<unsigned long long>(total.verify_failures),
+      static_cast<unsigned long long>(total.matched_a),
+      static_cast<unsigned long long>(total.matched_b));
   std::printf("%s\n", summary.c_str());
   const std::string summary_out = flags.GetString("summary_out", "");
   if (!summary_out.empty()) {

@@ -32,11 +32,29 @@
 //              [--max_pending_conns=64]    accept queue bound (shed above)
 //              [--net_read_timeout_ms=30000]  slow-loris cutoff
 //              [--serve_duration_s=0]      auto-stop after N seconds
+// hot reload & overload control (docs/ROBUSTNESS.md):
+//              [--reload=1]                server mode (no --batch): serve
+//                                          through a SnapshotManager so
+//                                          POST /reloadz hot-swaps the
+//                                          snapshot; 0 pins the startup one
+//              [--reload_watch]            poll --snapshot for mtime/size
+//                                          changes and reload automatically
+//              [--reload_poll_ms=500]      watcher poll cadence
+//              [--probe_users=8]           probe-query validation gate width
+//              [--probe_k=10]
+//              [--breaker]                 arm the request circuit breaker
+//              [--breaker_window=256] [--breaker_min_samples=32]
+//              [--breaker_trip_ratio=0.5] [--breaker_open_ms=250]
+//              [--breaker_probes=8]
+//              [--max_queue_delay_ms=0]    shed accepts when the smoothed
+//                                          worker-claim wait exceeds this
 // hardening flags (docs/ROBUSTNESS.md):
 //              [--deadline_ms=0]           per-request budget; 0 disables
 //              [--retries=2]               retry attempts after the first
 //              [--retry_backoff_ms=2]      base backoff (decorrelated jitter)
 //              [--retry_backoff_max_ms=8]  backoff cap
+//              [--degraded=1]              popularity fallback on failure;
+//                                          0 lets engine faults surface
 //              [--fault_spec=SPEC]         arm fault injection (e.g.
 //                                          engine.score:p=0.2, net.read:n=7)
 //              [--fault_seed=1]
@@ -83,6 +101,8 @@
 #include "serve/degraded.h"
 #include "serve/engine.h"
 #include "serve/hardened.h"
+#include "serve/overload.h"
+#include "serve/reload.h"
 #include "serve/snapshot.h"
 #include "util/fileio.h"
 #include "util/flags.h"
@@ -151,9 +171,8 @@ int main(int argc, char** argv) {
     dataset = std::make_unique<data::Dataset>(std::move(loaded).value());
   }
 
-  const serve::InferenceEngine engine(
-      std::move(snapshot).value(),
-      dataset != nullptr ? &dataset->interactions : nullptr);
+  const data::InteractionMatrix* seen =
+      dataset != nullptr ? &dataset->interactions : nullptr;
 
   // Flight recorder: armed with a destination directory, it snapshots
   // metrics + recent spans to flight_*.json on injected faults, on
@@ -198,14 +217,8 @@ int main(int argc, char** argv) {
         return Fail(status);
       }
     }
-    auto probe = engine.TryTopKForUser(0, 1, serve::kNoDeadline,
-                                       serve::kNoFaultToken);
-    if (probe.ok()) {
-      obs::HealthTracker::Global().SetReady(true);
-    } else {
-      HOSR_LOG(Warning) << "readiness probe failed, /readyz stays 503: "
-                        << probe.status();
-    }
+    // The readiness probe runs below, once the engine (or the snapshot
+    // manager's initial state) exists.
   }
 
   // With faults armed, a request's outcome is a pure function of its stream
@@ -233,23 +246,127 @@ int main(int argc, char** argv) {
   }
 
   // Hardening: deadline budget, bounded retries with jittered backoff, and
-  // a popularity fallback so engine faults degrade instead of failing.
-  const serve::DegradedRanker degraded(&engine);
+  // (unless --degraded=0) a popularity fallback so engine faults degrade
+  // instead of failing.
+  const bool degraded_enabled = flags.GetBool("degraded", true);
   serve::HardenedOptions hardened;
   hardened.deadline_ms = flags.GetDouble("deadline_ms", 0.0);
   hardened.retry.max_attempts = 1 + static_cast<int>(flags.GetInt("retries", 2));
   hardened.retry.initial_backoff_ms = flags.GetDouble("retry_backoff_ms", 2.0);
   hardened.retry.max_backoff_ms =
       flags.GetDouble("retry_backoff_max_ms", 8.0);
-  hardened.degraded = &degraded;
   hardened.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
-  const serve::HardenedExecutor executor(&engine, hardened);
 
+  // Serving stack: server mode without a batcher defaults to the
+  // SnapshotManager (hot reload armed); everything else pins the startup
+  // snapshot in a fixed engine. The batcher holds one engine for its
+  // lifetime, so --batch forces the fixed path.
   const auto batch = static_cast<size_t>(flags.GetInt("batch", 0));
+  const bool server_mode = flags.Has("port");
+  const bool use_manager =
+      server_mode && batch == 0 && flags.GetBool("reload", true);
+  std::unique_ptr<serve::SnapshotManager> manager;
+  std::unique_ptr<serve::InferenceEngine> engine;
+  std::unique_ptr<serve::DegradedRanker> degraded;
+  std::unique_ptr<serve::HardenedExecutor> executor;
+  if (use_manager) {
+    serve::SnapshotManager::Options manager_options;
+    manager_options.path = snapshot_path;
+    manager_options.seen = seen;
+    manager_options.hardened = hardened;
+    manager_options.degraded_fallback = degraded_enabled;
+    manager_options.probe_users =
+        static_cast<uint32_t>(flags.GetInt("probe_users", 8));
+    manager_options.probe_k =
+        static_cast<uint32_t>(flags.GetInt("probe_k", 10));
+    manager_options.poll_interval_s =
+        flags.GetDouble("reload_poll_ms", 500.0) / 1000.0;
+    manager_options.cache = cache.get();
+    auto created = serve::SnapshotManager::Create(
+        std::move(manager_options), std::move(snapshot).value());
+    if (!created.ok()) return Fail(created.status());
+    manager = std::move(created).value();
+    if (flags.GetBool("reload_watch", false)) manager->StartWatcher();
+  } else {
+    engine = std::make_unique<serve::InferenceEngine>(
+        std::move(snapshot).value(), seen);
+    if (degraded_enabled) {
+      degraded = std::make_unique<serve::DegradedRanker>(engine.get());
+    }
+    hardened.degraded = degraded.get();
+    executor = std::make_unique<serve::HardenedExecutor>(engine.get(),
+                                                         hardened);
+  }
+
+  // Readiness flips true only after the active engine answers a real probe
+  // query, so /readyz == 200 means scoring actually works.
+  if (admin != nullptr) {
+    std::shared_ptr<const serve::ServingState> probe_state;
+    const serve::InferenceEngine* probe_engine = engine.get();
+    if (manager != nullptr) {
+      probe_state = manager->Acquire();
+      probe_engine = &probe_state->engine();
+    }
+    auto probe = probe_engine->TryTopKForUser(0, 1, serve::kNoDeadline,
+                                              serve::kNoFaultToken);
+    if (probe.ok()) {
+      obs::HealthTracker::Global().SetReady(true);
+    } else {
+      HOSR_LOG(Warning) << "readiness probe failed, /readyz stays 503: "
+                        << probe.status();
+    }
+  }
+
+  // Admin surfaces for the reload path: /varz mirrors the active snapshot
+  // version/path/load-time and reload totals (refreshed from the reload
+  // listener after every attempt), POST /reloadz triggers a synchronous
+  // validated swap.
+  if (admin != nullptr && manager != nullptr) {
+    obs::AdminServer* admin_ptr = admin.get();
+    manager->SetReloadListener(
+        [admin_ptr](const serve::SnapshotManager::Stats& stats) {
+          admin_ptr->SetVar("snapshot_version",
+                            util::StrFormat("%llu", static_cast<unsigned long long>(
+                                                        stats.active_version)));
+          admin_ptr->SetVar("snapshot_path", stats.active_path);
+          admin_ptr->SetVar(
+              "snapshot_load_unix_s",
+              util::StrFormat("%lld", static_cast<long long>(
+                                          stats.active_load_unix_s)));
+          admin_ptr->SetVar("reloads_ok",
+                            util::StrFormat("%llu", static_cast<unsigned long long>(
+                                                        stats.reloads_ok)));
+          admin_ptr->SetVar(
+              "reloads_rejected",
+              util::StrFormat("%llu", static_cast<unsigned long long>(
+                                          stats.reloads_rejected)));
+        });
+    serve::SnapshotManager* manager_ptr = manager.get();
+    admin->SetReloadHandler([manager_ptr]() {
+      const util::Status status = manager_ptr->ReloadNow();
+      obs::HttpResponse response;
+      if (status.ok()) {
+        const serve::SnapshotManager::Stats stats = manager_ptr->GetStats();
+        response.status_code = 200;
+        response.body = util::StrFormat(
+            "{\"status\": \"ok\", \"active_version\": %llu, "
+            "\"active_path\": \"%s\"}\n",
+            static_cast<unsigned long long>(stats.active_version),
+            obs::JsonEscapeString(stats.active_path).c_str());
+      } else {
+        response.status_code = 503;
+        response.body = util::StrFormat(
+            "{\"status\": \"rejected\", \"error\": \"%s\"}\n",
+            obs::JsonEscapeString(status.ToString()).c_str());
+      }
+      return response;
+    });
+  }
+
   std::unique_ptr<serve::RequestBatcher> batcher;
   if (batch > 0) {
     batcher = std::make_unique<serve::RequestBatcher>(
-        &engine, serve::RequestBatcher::Options{
+        engine.get(), serve::RequestBatcher::Options{
                      .max_batch_size = batch,
                      .queue_capacity = static_cast<size_t>(
                          flags.GetInt("queue_capacity", 4096)),
@@ -259,7 +376,21 @@ int main(int argc, char** argv) {
   }
 
   // ---- Server mode: speak the wire protocol until told to stop. --------
-  if (flags.Has("port")) {
+  if (server_mode) {
+    std::unique_ptr<serve::CircuitBreaker> breaker;
+    if (flags.GetBool("breaker", false)) {
+      serve::CircuitBreaker::Options breaker_options;
+      breaker_options.window =
+          static_cast<size_t>(flags.GetInt("breaker_window", 256));
+      breaker_options.min_samples =
+          static_cast<size_t>(flags.GetInt("breaker_min_samples", 32));
+      breaker_options.trip_ratio =
+          flags.GetDouble("breaker_trip_ratio", 0.5);
+      breaker_options.open_ms = flags.GetDouble("breaker_open_ms", 250.0);
+      breaker_options.half_open_probes =
+          static_cast<size_t>(flags.GetInt("breaker_probes", 8));
+      breaker = std::make_unique<serve::CircuitBreaker>(breaker_options);
+    }
     net::NetServer::Options server_options;
     server_options.port = static_cast<int>(flags.GetInt("port", 0));
     server_options.bind_any = flags.GetBool("bind_any", false);
@@ -269,10 +400,14 @@ int main(int argc, char** argv) {
         static_cast<size_t>(flags.GetInt("max_pending_conns", 64));
     server_options.read_timeout_ms =
         static_cast<int>(flags.GetInt("net_read_timeout_ms", 30000));
-    server_options.engine = &engine;
-    server_options.executor = &executor;
+    server_options.engine = engine.get();
+    server_options.executor = executor.get();
     server_options.batcher = batcher.get();
     server_options.cache = cache.get();
+    server_options.manager = manager.get();
+    server_options.breaker = breaker.get();
+    server_options.max_queue_delay_ms =
+        flags.GetDouble("max_queue_delay_ms", 0.0);
     net::NetServer server(server_options);
     if (auto status = server.Start(); !status.ok()) return Fail(status);
     const std::string port_file = flags.GetString("port_file", "");
@@ -296,25 +431,39 @@ int main(int argc, char** argv) {
     HOSR_LOG(Info) << "draining: completing in-flight requests";
     server.Stop();  // graceful: answers everything already read
     if (batcher != nullptr) batcher->Stop();
+    if (manager != nullptr) manager->Stop();  // join the watcher
     const double elapsed = serve_timer.ElapsedSeconds();
 
     const net::NetServer::Stats stats = server.GetStats();
     serve::ResultCache::Stats cache_stats;
     if (cache != nullptr) cache_stats = cache->GetStats();
+    serve::SnapshotManager::Stats reload_stats;
+    if (manager != nullptr) reload_stats = manager->GetStats();
+    serve::CircuitBreaker::Stats breaker_stats;
+    if (breaker != nullptr) breaker_stats = breaker->GetStats();
     const std::string summary = util::StrFormat(
         "{\"mode\": \"server\", \"snapshot\": \"%s\", \"model\": \"%s\", "
         "\"port\": %d, \"workers\": %d, \"batched\": %s, "
         "\"elapsed_seconds\": %.4f, "
-        "\"net\": {\"accepted\": %llu, \"shed\": %llu, \"requests\": %llu, "
+        "\"net\": {\"accepted\": %llu, \"shed\": %llu, "
+        "\"delay_shed\": %llu, \"breaker_rejected\": %llu, "
+        "\"requests\": %llu, "
         "\"responses\": %llu, \"protocol_errors\": %llu, "
         "\"read_timeouts\": %llu, \"bytes_read\": %llu, "
         "\"bytes_written\": %llu}, "
-        "\"cache\": {\"enabled\": %s, \"hits\": %llu, \"misses\": %llu}, "
+        "\"cache\": {\"enabled\": %s, \"hits\": %llu, \"misses\": %llu, "
+        "\"stale_hits\": %llu, \"stale_puts\": %llu}, "
+        "\"reload\": {\"enabled\": %s, \"active_version\": %llu, "
+        "\"reloads_ok\": %llu, \"reloads_rejected\": %llu}, "
+        "\"breaker\": {\"enabled\": %s, \"state\": %d, \"trips\": %llu, "
+        "\"rejected\": %llu}, "
         "\"faults_injected\": %llu}",
         snapshot_path.c_str(), model_name.c_str(), server.port(),
         server_options.worker_threads, batcher != nullptr ? "true" : "false",
         elapsed, static_cast<unsigned long long>(stats.accepted),
         static_cast<unsigned long long>(stats.shed),
+        static_cast<unsigned long long>(stats.delay_shed),
+        static_cast<unsigned long long>(stats.breaker_rejected),
         static_cast<unsigned long long>(stats.requests),
         static_cast<unsigned long long>(stats.responses),
         static_cast<unsigned long long>(stats.protocol_errors),
@@ -324,6 +473,16 @@ int main(int argc, char** argv) {
         cache != nullptr ? "true" : "false",
         static_cast<unsigned long long>(cache_stats.hits),
         static_cast<unsigned long long>(cache_stats.misses),
+        static_cast<unsigned long long>(cache_stats.stale_hits),
+        static_cast<unsigned long long>(cache_stats.stale_puts),
+        manager != nullptr ? "true" : "false",
+        static_cast<unsigned long long>(reload_stats.active_version),
+        static_cast<unsigned long long>(reload_stats.reloads_ok),
+        static_cast<unsigned long long>(reload_stats.reloads_rejected),
+        breaker != nullptr ? "true" : "false",
+        static_cast<int>(breaker_stats.state),
+        static_cast<unsigned long long>(breaker_stats.trips),
+        static_cast<unsigned long long>(breaker_stats.rejected),
         static_cast<unsigned long long>(
             fault::FaultRegistry::Global().TotalInjected()));
     std::printf("%s\n", summary.c_str());
@@ -412,7 +571,7 @@ int main(int argc, char** argv) {
               }
             }
             if (!served_from_cache) {
-              response = executor.Execute(r.user, r.k, /*token=*/i);
+              response = executor->Execute(r.user, r.k, /*token=*/i);
               if (response.ok() && !response->degraded && cache != nullptr) {
                 cache->Put(r.user, r.k, response->items);
               }
