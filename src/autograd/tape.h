@@ -15,6 +15,26 @@ namespace hosr::autograd {
 
 class Tape;
 
+// Row-sparse gradient destination for the parallel trainer's slice tapes
+// (docs/PERFORMANCE.md "Parallel training"). A sparse leaf created with
+// Tape::SparseParam / Tape::SparseShared routes the backward pass of every
+// GatherRows over it into one of these sinks instead of a dense grad
+// matrix: each gather op gets its own segment holding (row, grad-row)
+// pairs in the exact scan order the monolithic scatter-add would have
+// visited them, so the trainer can replay the monolithic accumulation
+// fold bit-identically across slices.
+struct SparseSink {
+  struct OpSegment {
+    std::vector<uint32_t> rows;  // target rows, batch scan order
+    tensor::Matrix grads;        // (rows.size() x cols), matching order
+  };
+
+  Param* param = nullptr;  // target: exactly one of param / shared_key
+  int shared_key = -1;     // trainer-assigned id of a shared-forward output
+  size_t cols = 0;
+  std::vector<OpSegment> ops;  // one per GatherRows, creation order
+};
+
 namespace internal {
 
 // One recorded operation. Nodes are heap-allocated so pointers stay stable
@@ -27,6 +47,7 @@ struct Node {
   bool grad_live = false;       // true once grad holds real data
   bool requires_grad = false;
   Param* param = nullptr;       // set for Param leaves
+  int sparse_sink = -1;         // index into the tape's sinks, if a sparse leaf
   // Accumulates input gradients given this node's complete gradient.
   std::function<void()> backward;
 
@@ -74,6 +95,24 @@ class Tape {
 
   // Non-trainable leaf (moves the matrix in).
   Value Constant(tensor::Matrix m);
+
+  // --- Sparse leaves (parallel trainer slice tapes) --------------------
+  //
+  // Like Param / a borrowed constant, except the backward pass does not
+  // touch `param->grad` (or any dense matrix): every GatherRows over the
+  // leaf records its per-row gradients into a SparseSink segment instead,
+  // in batch scan order, and the caller replays the accumulation in
+  // whatever order reproduces the monolithic tape (trainer.cc owns that
+  // fold). Sparse leaves support ONLY GatherRows consumers — any op that
+  // would need a dense gradient for the leaf aborts.
+
+  // Sparse trainable leaf aliasing `param->value`.
+  Value SparseParam(autograd::Param* param);
+
+  // Sparse leaf over a borrowed value from another tape (a shared-forward
+  // output); `key` identifies the source node to the reducer. `values`
+  // must outlive this tape.
+  Value SparseShared(int key, const tensor::Matrix* values);
 
   // --- Linear algebra --------------------------------------------------
 
@@ -159,6 +198,25 @@ class Tape {
   // sweep, accumulating into every reachable Param's grad.
   void Backward(Value loss);
 
+  // Resumes a shared-forward tape: installs each seed matrix as the
+  // complete gradient of its node (which must not already have one), then
+  // runs the reverse sweep from the end of the tape. Used by the parallel
+  // trainer to finish the shared prefix after reducing the slices' sink
+  // gradients; equivalent to the monolithic sweep reaching those interior
+  // nodes with the same accumulated grads.
+  void BackwardSeeded(std::vector<std::pair<Value, tensor::Matrix>> seeds);
+
+  // Sparse sinks in leaf creation order (stable pointers).
+  const std::vector<std::unique_ptr<SparseSink>>& sparse_sinks() const {
+    return sinks_;
+  }
+
+  // Params with a dense leaf on this tape (creation order, may repeat if
+  // Param() was called twice for the same parameter).
+  const std::vector<autograd::Param*>& param_leaves() const {
+    return param_leaves_;
+  }
+
   size_t num_nodes() const { return nodes_.size(); }
 
  private:
@@ -169,6 +227,8 @@ class Tape {
   static tensor::Matrix* GradFor(internal::Node* node);
 
   std::vector<std::unique_ptr<internal::Node>> nodes_;
+  std::vector<std::unique_ptr<SparseSink>> sinks_;
+  std::vector<autograd::Param*> param_leaves_;
 };
 
 }  // namespace hosr::autograd

@@ -73,4 +73,66 @@ BprBatch BprSampler::SampleBatch(size_t batch_size) {
   return batch;
 }
 
+BatchPrefetcher::BatchPrefetcher(BprSampler* sampler, size_t batch_size,
+                                 size_t num_batches, bool enabled,
+                                 size_t depth)
+    : sampler_(sampler),
+      batch_size_(batch_size),
+      num_batches_(num_batches),
+      enabled_(enabled && num_batches > 0),
+      depth_(depth > 0 ? depth : 1) {
+  HOSR_CHECK(sampler_ != nullptr);
+  if (enabled_) {
+    producer_ = std::thread([this] { ProducerLoop(); });
+  }
+}
+
+BatchPrefetcher::~BatchPrefetcher() {
+  if (!producer_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  space_ready_.notify_all();
+  batch_ready_.notify_all();
+  producer_.join();
+}
+
+void BatchPrefetcher::ProducerLoop() {
+  for (size_t i = 0; i < num_batches_; ++i) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      space_ready_.wait(lock,
+                        [this] { return stop_ || queue_.size() < depth_; });
+      if (stop_) return;
+    }
+    // Sample outside the lock: the whole point is overlapping this work
+    // with the consumer. Only this thread touches the sampler, and only
+    // the consumer pops, so the space observed above cannot vanish.
+    BprBatch batch = sampler_->SampleBatch(batch_size_);
+    HOSR_COUNTER("sampler/prefetched_batches").Increment();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) return;
+      queue_.push_back(std::move(batch));
+    }
+    batch_ready_.notify_one();
+  }
+}
+
+BprBatch BatchPrefetcher::Next() {
+  HOSR_CHECK(consumed_ < num_batches_)
+      << "epoch exhausted after " << num_batches_ << " batches";
+  ++consumed_;
+  if (!enabled_) return sampler_->SampleBatch(batch_size_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (queue_.empty()) HOSR_COUNTER("sampler/prefetch_stalls").Increment();
+  batch_ready_.wait(lock, [this] { return !queue_.empty(); });
+  BprBatch batch = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  space_ready_.notify_one();
+  return batch;
+}
+
 }  // namespace hosr::data

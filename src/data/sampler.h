@@ -1,7 +1,11 @@
 #ifndef HOSR_DATA_SAMPLER_H_
 #define HOSR_DATA_SAMPLER_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "data/interactions.h"
@@ -61,6 +65,51 @@ class BprSampler {
   NegativeSampling negative_sampling_;
   // CDF over items for kPopularity (empty otherwise).
   std::vector<double> popularity_cdf_;
+};
+
+// Double-buffered background producer of one epoch's batches, overlapping
+// BprSampler::SampleBatch with the consumer's backward/step work.
+//
+// Determinism contract: the producer draws exactly `num_batches` batches —
+// one epoch's worth, never across the epoch boundary — in the same order
+// the synchronous loop would, so the sampler's RNG state after the epoch
+// (and therefore any checkpoint taken between epochs) is bit-identical to
+// unprefetched training.
+//
+// `sampler` must outlive the prefetcher and must not be used elsewhere
+// while one is alive (the producer thread owns it). The destructor stops
+// the producer and joins even if not all batches were consumed. With
+// `enabled` false no thread is started and Next() samples synchronously —
+// same sequence, zero overhead — so call sites can flag-toggle freely.
+class BatchPrefetcher {
+ public:
+  BatchPrefetcher(BprSampler* sampler, size_t batch_size, size_t num_batches,
+                  bool enabled, size_t depth = 2);
+  ~BatchPrefetcher();
+
+  BatchPrefetcher(const BatchPrefetcher&) = delete;
+  BatchPrefetcher& operator=(const BatchPrefetcher&) = delete;
+
+  // The next batch of the epoch, in sampling order. Blocks until the
+  // producer has it ready. At most `num_batches` calls are valid.
+  BprBatch Next();
+
+ private:
+  void ProducerLoop();
+
+  BprSampler* sampler_;
+  const size_t batch_size_;
+  const size_t num_batches_;
+  const bool enabled_;
+  const size_t depth_;
+  size_t consumed_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable batch_ready_;
+  std::condition_variable space_ready_;
+  std::deque<BprBatch> queue_;
+  bool stop_ = false;
+  std::thread producer_;
 };
 
 }  // namespace hosr::data

@@ -60,23 +60,86 @@ void EnsureState(const autograd::ParamStore& params,
   }
 }
 
+// Applies a per-parameter RowSet plan by dispatching to `update_rows`.
+// Parameters with an empty, non-dense RowSet are skipped entirely (lazy).
+template <typename UpdateRowsFn>
+void ApplyPlan(autograd::ParamStore* params, const std::vector<RowSet>& plan,
+               UpdateRowsFn&& update_rows) {
+  HOSR_CHECK(plan.size() == params->size())
+      << "row plan has " << plan.size() << " entries for " << params->size()
+      << " parameters";
+  for (size_t i = 0; i < params->size(); ++i) {
+    autograd::Param* p = params->at(i);
+    const RowSet& rs = plan[i];
+    if (rs.dense) {
+      update_rows(i, p, nullptr, p->value.rows());
+    } else if (!rs.rows.empty()) {
+      HOSR_CHECK(rs.rows.back() < p->value.rows())
+          << "row " << rs.rows.back() << " out of range for parameter " << i;
+      update_rows(i, p, rs.rows.data(), rs.rows.size());
+    }
+  }
+}
+
 }  // namespace
+
+// The dense Step of each optimizer below is a flat element loop rewritten
+// as row iteration; row-major storage makes the element order — and thus
+// every float operation — identical to the original flat loop, and the
+// same helper serves StepRows so the sparse path is bitwise the dense
+// per-row update. The dense path deliberately stays single-threaded: it is
+// the baseline the parallel trainer's benchmarks compare against.
+
+void Sgd::UpdateRows(autograd::Param* p, tensor::Matrix* vel,
+                     const uint32_t* rows, size_t num_rows) {
+  const size_t cols = p->value.cols();
+  for (size_t k = 0; k < num_rows; ++k) {
+    const size_t r = rows != nullptr ? rows[k] : k;
+    float* value = p->value.row(r);
+    const float* grad = p->grad.row(r);
+    float* v = vel->row(r);
+    for (size_t c = 0; c < cols; ++c) {
+      const float g = grad[c] + weight_decay_ * value[c];
+      if (momentum_ != 0.0f) {
+        v[c] = momentum_ * v[c] + g;
+        value[c] -= learning_rate_ * v[c];
+      } else {
+        value[c] -= learning_rate_ * g;
+      }
+    }
+  }
+}
 
 void Sgd::Step(autograd::ParamStore* params) {
   EnsureState(*params, &velocity_);
   for (size_t i = 0; i < params->size(); ++i) {
     autograd::Param* p = params->at(i);
-    float* value = p->value.data();
-    float* vel = velocity_[i].data();
-    const size_t n = p->value.size();
-    for (size_t j = 0; j < n; ++j) {
-      const float g = RegularizedGrad(*p, j);
-      if (momentum_ != 0.0f) {
-        vel[j] = momentum_ * vel[j] + g;
-        value[j] -= learning_rate_ * vel[j];
-      } else {
-        value[j] -= learning_rate_ * g;
-      }
+    UpdateRows(p, &velocity_[i], nullptr, p->value.rows());
+  }
+}
+
+void Sgd::StepRows(autograd::ParamStore* params,
+                   const std::vector<RowSet>& plan) {
+  EnsureState(*params, &velocity_);
+  ApplyPlan(params, plan,
+            [this](size_t i, autograd::Param* p, const uint32_t* rows,
+                   size_t num_rows) {
+              UpdateRows(p, &velocity_[i], rows, num_rows);
+            });
+}
+
+void RmsProp::UpdateRows(autograd::Param* p, tensor::Matrix* ms,
+                         const uint32_t* rows, size_t num_rows) {
+  const size_t cols = p->value.cols();
+  for (size_t k = 0; k < num_rows; ++k) {
+    const size_t r = rows != nullptr ? rows[k] : k;
+    float* value = p->value.row(r);
+    const float* grad = p->grad.row(r);
+    float* m = ms->row(r);
+    for (size_t c = 0; c < cols; ++c) {
+      const float g = grad[c] + weight_decay_ * value[c];
+      m[c] = decay_ * m[c] + (1.0f - decay_) * g * g;
+      value[c] -= learning_rate_ * g / (std::sqrt(m[c]) + epsilon_);
     }
   }
 }
@@ -85,13 +148,37 @@ void RmsProp::Step(autograd::ParamStore* params) {
   EnsureState(*params, &mean_square_);
   for (size_t i = 0; i < params->size(); ++i) {
     autograd::Param* p = params->at(i);
-    float* value = p->value.data();
-    float* ms = mean_square_[i].data();
-    const size_t n = p->value.size();
-    for (size_t j = 0; j < n; ++j) {
-      const float g = RegularizedGrad(*p, j);
-      ms[j] = decay_ * ms[j] + (1.0f - decay_) * g * g;
-      value[j] -= learning_rate_ * g / (std::sqrt(ms[j]) + epsilon_);
+    UpdateRows(p, &mean_square_[i], nullptr, p->value.rows());
+  }
+}
+
+void RmsProp::StepRows(autograd::ParamStore* params,
+                       const std::vector<RowSet>& plan) {
+  EnsureState(*params, &mean_square_);
+  ApplyPlan(params, plan,
+            [this](size_t i, autograd::Param* p, const uint32_t* rows,
+                   size_t num_rows) {
+              UpdateRows(p, &mean_square_[i], rows, num_rows);
+            });
+}
+
+void Adam::UpdateRows(autograd::Param* p, tensor::Matrix* m_state,
+                      tensor::Matrix* v_state, float bias1, float bias2,
+                      const uint32_t* rows, size_t num_rows) {
+  const size_t cols = p->value.cols();
+  for (size_t k = 0; k < num_rows; ++k) {
+    const size_t r = rows != nullptr ? rows[k] : k;
+    float* value = p->value.row(r);
+    const float* grad = p->grad.row(r);
+    float* m = m_state->row(r);
+    float* v = v_state->row(r);
+    for (size_t c = 0; c < cols; ++c) {
+      const float g = grad[c] + weight_decay_ * value[c];
+      m[c] = beta1_ * m[c] + (1.0f - beta1_) * g;
+      v[c] = beta2_ * v[c] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[c] / bias1;
+      const float v_hat = v[c] / bias2;
+      value[c] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
     }
   }
 }
@@ -104,17 +191,36 @@ void Adam::Step(autograd::ParamStore* params) {
   const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
   for (size_t i = 0; i < params->size(); ++i) {
     autograd::Param* p = params->at(i);
-    float* value = p->value.data();
-    float* m = m_[i].data();
-    float* v = v_[i].data();
-    const size_t n = p->value.size();
-    for (size_t j = 0; j < n; ++j) {
-      const float g = RegularizedGrad(*p, j);
-      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
-      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
-      const float m_hat = m[j] / bias1;
-      const float v_hat = v[j] / bias2;
-      value[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    UpdateRows(p, &m_[i], &v_[i], bias1, bias2, nullptr, p->value.rows());
+  }
+}
+
+void Adam::StepRows(autograd::ParamStore* params,
+                    const std::vector<RowSet>& plan) {
+  EnsureState(*params, &m_);
+  EnsureState(*params, &v_);
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  ApplyPlan(params, plan,
+            [this, bias1, bias2](size_t i, autograd::Param* p,
+                                 const uint32_t* rows, size_t num_rows) {
+              UpdateRows(p, &m_[i], &v_[i], bias1, bias2, rows, num_rows);
+            });
+}
+
+void AdaGrad::UpdateRows(autograd::Param* p, tensor::Matrix* acc_state,
+                         const uint32_t* rows, size_t num_rows) {
+  const size_t cols = p->value.cols();
+  for (size_t k = 0; k < num_rows; ++k) {
+    const size_t r = rows != nullptr ? rows[k] : k;
+    float* value = p->value.row(r);
+    const float* grad = p->grad.row(r);
+    float* acc = acc_state->row(r);
+    for (size_t c = 0; c < cols; ++c) {
+      const float g = grad[c] + weight_decay_ * value[c];
+      acc[c] += g * g;
+      value[c] -= learning_rate_ * g / (std::sqrt(acc[c]) + epsilon_);
     }
   }
 }
@@ -123,15 +229,18 @@ void AdaGrad::Step(autograd::ParamStore* params) {
   EnsureState(*params, &accum_);
   for (size_t i = 0; i < params->size(); ++i) {
     autograd::Param* p = params->at(i);
-    float* value = p->value.data();
-    float* acc = accum_[i].data();
-    const size_t n = p->value.size();
-    for (size_t j = 0; j < n; ++j) {
-      const float g = RegularizedGrad(*p, j);
-      acc[j] += g * g;
-      value[j] -= learning_rate_ * g / (std::sqrt(acc[j]) + epsilon_);
-    }
+    UpdateRows(p, &accum_[i], nullptr, p->value.rows());
   }
+}
+
+void AdaGrad::StepRows(autograd::ParamStore* params,
+                       const std::vector<RowSet>& plan) {
+  EnsureState(*params, &accum_);
+  ApplyPlan(params, plan,
+            [this](size_t i, autograd::Param* p, const uint32_t* rows,
+                   size_t num_rows) {
+              UpdateRows(p, &accum_[i], rows, num_rows);
+            });
 }
 
 util::Status Sgd::SaveState(std::ostream* out) const {

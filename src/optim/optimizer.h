@@ -11,6 +11,15 @@
 
 namespace hosr::optim {
 
+// Per-parameter row selection for Optimizer::StepRows, indexed like the
+// ParamStore. `dense` updates every row (same as Step for that parameter);
+// otherwise only `rows` (which must be sorted and unique) are updated, and
+// an empty list skips the parameter entirely this step.
+struct RowSet {
+  bool dense = false;
+  std::vector<uint32_t> rows;
+};
+
 // Base class for first-order optimizers over a ParamStore. Optimizers apply
 // decoupled L2 regularization (`weight_decay` = the paper's lambda): the
 // update sees grad + weight_decay * value.
@@ -26,6 +35,20 @@ class Optimizer {
   // Applies one update from the accumulated gradients, then leaves the
   // gradients untouched (caller zeroes via ParamStore::ZeroGrad).
   virtual void Step(autograd::ParamStore* params) = 0;
+
+  // Row-sparse update: applies the exact per-row arithmetic Step would —
+  // bitwise, including state updates — but only to the rows selected in
+  // `plan` (one RowSet per parameter). Rows outside the plan keep their
+  // values AND their optimizer state, which makes weight decay *lazy*: an
+  // untouched embedding row skips this step's decay entirely. That is a
+  // deliberate semantic difference from dense Step, so the trainer records
+  // sparse-vs-dense in the checkpoint config identity. The base fallback
+  // ignores the plan and runs a dense Step.
+  virtual void StepRows(autograd::ParamStore* params,
+                        const std::vector<RowSet>& plan) {
+    (void)plan;
+    Step(params);
+  }
 
   virtual std::string name() const = 0;
 
@@ -59,11 +82,17 @@ class Sgd : public Optimizer {
       : Optimizer(learning_rate, weight_decay), momentum_(momentum) {}
 
   void Step(autograd::ParamStore* params) override;
+  void StepRows(autograd::ParamStore* params,
+                const std::vector<RowSet>& plan) override;
   std::string name() const override { return "sgd"; }
   util::Status SaveState(std::ostream* out) const override;
   util::Status LoadState(std::istream* in) override;
 
  private:
+  // rows == nullptr updates all num_rows rows in order (the dense path).
+  void UpdateRows(autograd::Param* p, tensor::Matrix* vel,
+                  const uint32_t* rows, size_t num_rows);
+
   float momentum_;
   std::vector<tensor::Matrix> velocity_;
 };
@@ -78,11 +107,16 @@ class RmsProp : public Optimizer {
         epsilon_(epsilon) {}
 
   void Step(autograd::ParamStore* params) override;
+  void StepRows(autograd::ParamStore* params,
+                const std::vector<RowSet>& plan) override;
   std::string name() const override { return "rmsprop"; }
   util::Status SaveState(std::ostream* out) const override;
   util::Status LoadState(std::istream* in) override;
 
  private:
+  void UpdateRows(autograd::Param* p, tensor::Matrix* ms,
+                  const uint32_t* rows, size_t num_rows);
+
   float decay_;
   float epsilon_;
   std::vector<tensor::Matrix> mean_square_;
@@ -99,11 +133,20 @@ class Adam : public Optimizer {
         epsilon_(epsilon) {}
 
   void Step(autograd::ParamStore* params) override;
+  void StepRows(autograd::ParamStore* params,
+                const std::vector<RowSet>& plan) override;
   std::string name() const override { return "adam"; }
   util::Status SaveState(std::ostream* out) const override;
   util::Status LoadState(std::istream* in) override;
 
  private:
+  // Bias correction uses the global step counter t_ (incremented once per
+  // Step/StepRows call), the standard lazy-Adam convention: a row updated
+  // less often still sees the global-schedule correction.
+  void UpdateRows(autograd::Param* p, tensor::Matrix* m, tensor::Matrix* v,
+                  float bias1, float bias2, const uint32_t* rows,
+                  size_t num_rows);
+
   float beta1_;
   float beta2_;
   float epsilon_;
@@ -120,11 +163,16 @@ class AdaGrad : public Optimizer {
       : Optimizer(learning_rate, weight_decay), epsilon_(epsilon) {}
 
   void Step(autograd::ParamStore* params) override;
+  void StepRows(autograd::ParamStore* params,
+                const std::vector<RowSet>& plan) override;
   std::string name() const override { return "adagrad"; }
   util::Status SaveState(std::ostream* out) const override;
   util::Status LoadState(std::istream* in) override;
 
  private:
+  void UpdateRows(autograd::Param* p, tensor::Matrix* acc,
+                  const uint32_t* rows, size_t num_rows);
+
   float epsilon_;
   std::vector<tensor::Matrix> accum_;
 };

@@ -1,0 +1,422 @@
+// Parallel training engine suite (docs/PERFORMANCE.md "Parallel training"):
+// the sliced engine must be BIT-identical to the sequential trainer for
+// every worker count, slice size, and prefetch setting — proven by
+// byte-comparing full training states (params + optimizer state + RNG
+// streams) after multi-epoch runs — plus the row-sparse optimizer path,
+// prefetcher shutdown/sequence contracts, and kill-and-resume across
+// differing thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hosr_gat.h"
+#include "core/hosr_joint.h"
+#include "core/model_zoo.h"
+#include "data/sampler.h"
+#include "data/synthetic.h"
+#include "models/trainer.h"
+#include "optim/optimizer.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace hosr {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string ReadRaw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+const data::Dataset& TestDataset() {
+  static const data::Dataset* dataset = [] {
+    data::SyntheticConfig config;
+    config.name = "trainer-parallel-test";
+    config.num_users = 60;
+    config.num_items = 80;
+    config.avg_interactions_per_user = 8;
+    config.avg_relations_per_user = 5;
+    config.seed = 91;
+    auto result = data::GenerateSynthetic(config);
+    HOSR_CHECK(result.ok());
+    return new data::Dataset(std::move(result).value());
+  }();
+  return *dataset;
+}
+
+using ModelFactory = std::function<std::unique_ptr<models::RankingModel>()>;
+
+ModelFactory ZooFactory(const std::string& name, float hosr_dropout = 0.2f) {
+  return [name, hosr_dropout] {
+    core::ZooConfig zoo;
+    zoo.embedding_dim = 6;
+    zoo.hosr_layers = 2;
+    zoo.hosr_graph_dropout = hosr_dropout;
+    auto model = core::MakeModel(name, TestDataset(), zoo);
+    HOSR_CHECK(model.ok()) << model.status();
+    return std::move(model).value();
+  };
+}
+
+models::TrainConfig BaseConfig() {
+  models::TrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 48;
+  config.learning_rate = 0.01f;
+  config.weight_decay = 0.001f;
+  config.seed = 5;
+  return config;
+}
+
+// Trains a freshly built model to config.epochs and returns the raw bytes
+// of its saved training state — the strongest equality oracle the trainer
+// has (parameters, optimizer state, and both RNG streams).
+std::string TrainedStateBytes(const ModelFactory& factory,
+                              const models::TrainConfig& config,
+                              const std::string& tag) {
+  auto model = factory();
+  models::BprTrainer trainer(model.get(), &TestDataset().interactions,
+                             config);
+  trainer.Train();
+  const std::string path = TempPath("hosr_ptrain_" + tag);
+  HOSR_CHECK(trainer.SaveTrainingState(path).ok());
+  std::string bytes = ReadRaw(path);
+  std::remove(path.c_str());
+  HOSR_CHECK(!bytes.empty());
+  return bytes;
+}
+
+// --- bit-identity across worker counts ---------------------------------------
+
+TEST(ParallelTrainerTest, BprBitIdenticalAcrossThreadsSlicesAndPrefetch) {
+  const ModelFactory factory = ZooFactory("BPR");
+  models::TrainConfig config = BaseConfig();
+
+  const std::string sequential = TrainedStateBytes(factory, config, "seq");
+
+  config.train_threads = 2;
+  config.slice_size = 16;
+  EXPECT_EQ(sequential, TrainedStateBytes(factory, config, "t2"))
+      << "2-thread engine diverged from the sequential trainer";
+
+  config.train_threads = 4;
+  config.slice_size = 7;  // ragged slices must not matter
+  EXPECT_EQ(sequential, TrainedStateBytes(factory, config, "t4"))
+      << "4-thread engine with ragged slices diverged";
+
+  config.train_threads = 3;
+  config.slice_size = 1024;  // one slice spanning the whole batch
+  EXPECT_EQ(sequential, TrainedStateBytes(factory, config, "t3wide"))
+      << "single-slice engine diverged";
+
+  config.train_threads = 2;
+  config.slice_size = 16;
+  config.prefetch = false;
+  EXPECT_EQ(sequential, TrainedStateBytes(factory, config, "nopf"))
+      << "prefetch toggle changed the trajectory";
+}
+
+TEST(ParallelTrainerTest, HosrWithDropoutBitIdenticalAcrossThreads) {
+  // Graph dropout ON: the shared forward must consume the dropout RNG once
+  // per batch exactly as the monolithic loss would.
+  const ModelFactory factory = ZooFactory("HOSR", /*hosr_dropout=*/0.3f);
+  models::TrainConfig config = BaseConfig();
+
+  const std::string sequential = TrainedStateBytes(factory, config, "hseq");
+
+  config.train_threads = 4;
+  config.slice_size = 13;
+  EXPECT_EQ(sequential, TrainedStateBytes(factory, config, "ht4"))
+      << "HOSR engine diverged from sequential";
+}
+
+TEST(ParallelTrainerTest, EverySlicedModelBitIdenticalAcrossThreads) {
+  std::vector<std::pair<std::string, ModelFactory>> factories = {
+      {"TrustSVD", ZooFactory("TrustSVD")},
+      {"IF-BPR+", ZooFactory("IF-BPR+")},
+      {"HOSR-GAT",
+       [] {
+         core::HosrGat::Config c;
+         c.embedding_dim = 6;
+         c.num_layers = 2;
+         c.graph_dropout = 0.2f;
+         return std::make_unique<core::HosrGat>(TestDataset(), c);
+       }},
+      {"HOSR-Joint",
+       [] {
+         core::HosrJoint::Config c;
+         c.embedding_dim = 6;
+         c.num_layers = 2;
+         c.graph_dropout = 0.2f;
+         return std::make_unique<core::HosrJoint>(TestDataset(), c);
+       }},
+  };
+  for (const auto& [name, factory] : factories) {
+    models::TrainConfig config = BaseConfig();
+    ASSERT_TRUE(factory()->SupportsSlicedLoss()) << name;
+    const std::string sequential =
+        TrainedStateBytes(factory, config, "m_seq");
+    config.train_threads = 3;
+    config.slice_size = 11;
+    EXPECT_EQ(sequential, TrainedStateBytes(factory, config, "m_t3"))
+        << name << " engine diverged from sequential";
+  }
+}
+
+// --- sparse optimizer steps --------------------------------------------------
+
+TEST(ParallelTrainerTest, SparseStepsThreadInvariantButDistinctFromDense) {
+  const ModelFactory factory = ZooFactory("BPR");
+  models::TrainConfig config = BaseConfig();
+
+  const std::string dense = TrainedStateBytes(factory, config, "dense");
+
+  config.sparse_steps = true;
+  config.train_threads = 1;  // engine with a single worker
+  const std::string sparse1 = TrainedStateBytes(factory, config, "sp1");
+  config.train_threads = 4;
+  config.slice_size = 9;
+  const std::string sparse4 = TrainedStateBytes(factory, config, "sp4");
+
+  EXPECT_EQ(sparse1, sparse4)
+      << "sparse-step trajectory depends on worker count";
+  // Lazy weight decay skips untouched rows, so with weight_decay > 0 the
+  // sparse trajectory is a genuinely different (and legitimate) run. The
+  // config block also differs by the sparse_steps byte.
+  EXPECT_NE(dense, sparse1)
+      << "sparse steps with nonzero decay should not match dense steps";
+}
+
+TEST(SparseOptimizerTest, DenseRowPlanMatchesStepBitwise) {
+  for (const std::string name : {"sgd", "rmsprop", "adam", "adagrad"}) {
+    util::Rng rng(77);
+    autograd::ParamStore store_a;
+    autograd::ParamStore store_b;
+    autograd::Param* a = store_a.CreateGaussian("p", 5, 3, 1.0f, &rng);
+    autograd::Param* b = store_b.Create("p", 5, 3);
+    b->value = a->value;
+    for (size_t i = 0; i < a->grad.size(); ++i) {
+      a->grad.data()[i] = 0.25f * static_cast<float>(i) - 1.5f;
+    }
+    b->grad = a->grad;
+
+    auto opt_a = optim::MakeOptimizer(name, 0.05f, 0.01f);
+    auto opt_b = optim::MakeOptimizer(name, 0.05f, 0.01f);
+    std::vector<optim::RowSet> plan(1);
+    plan[0].dense = true;
+    for (int step = 0; step < 3; ++step) {
+      opt_a->Step(&store_a);
+      opt_b->StepRows(&store_b, plan);
+    }
+    for (size_t i = 0; i < a->value.size(); ++i) {
+      ASSERT_EQ(a->value.data()[i], b->value.data()[i])
+          << name << " dense StepRows != Step at element " << i;
+    }
+  }
+}
+
+TEST(SparseOptimizerTest, PartialPlanUpdatesOnlySelectedRows) {
+  for (const std::string name : {"sgd", "rmsprop", "adam", "adagrad"}) {
+    util::Rng rng(78);
+    autograd::ParamStore store_a;
+    autograd::ParamStore store_b;
+    autograd::Param* a = store_a.CreateGaussian("p", 6, 2, 1.0f, &rng);
+    autograd::Param* b = store_b.Create("p", 6, 2);
+    b->value = a->value;
+    const tensor::Matrix original = a->value;
+    for (size_t i = 0; i < a->grad.size(); ++i) {
+      a->grad.data()[i] = 0.1f * static_cast<float>(i + 1);
+    }
+    b->grad = a->grad;
+
+    auto opt_a = optim::MakeOptimizer(name, 0.05f, 0.01f);
+    auto opt_b = optim::MakeOptimizer(name, 0.05f, 0.01f);
+    opt_a->Step(&store_a);
+    std::vector<optim::RowSet> plan(1);
+    plan[0].rows = {1, 4};
+    opt_b->StepRows(&store_b, plan);
+
+    for (size_t r = 0; r < 6; ++r) {
+      for (size_t c = 0; c < 2; ++c) {
+        if (r == 1 || r == 4) {
+          // A planned row steps exactly as the dense step would (the
+          // per-row arithmetic is shared).
+          ASSERT_EQ(b->value(r, c), a->value(r, c))
+              << name << " touched row " << r << " differs from dense step";
+        } else {
+          // An unplanned row is untouched: no update, no (lazy) decay.
+          ASSERT_EQ(b->value(r, c), original(r, c))
+              << name << " untouched row " << r << " moved";
+        }
+      }
+    }
+
+    // An empty-rows plan must be a no-op for the parameter.
+    std::vector<optim::RowSet> empty_plan(1);
+    const tensor::Matrix before = b->value;
+    opt_b->StepRows(&store_b, empty_plan);
+    for (size_t i = 0; i < before.size(); ++i) {
+      ASSERT_EQ(b->value.data()[i], before.data()[i])
+          << name << " empty plan changed values";
+    }
+  }
+}
+
+// --- batch prefetcher --------------------------------------------------------
+
+TEST(BatchPrefetcherTest, DeliversTheSynchronousSequence) {
+  const auto& interactions = TestDataset().interactions;
+  data::BprSampler plain(&interactions, 1234);
+  data::BprSampler prefetched(&interactions, 1234);
+  const size_t kBatches = 7;
+  data::BatchPrefetcher prefetcher(&prefetched, 32, kBatches,
+                                   /*enabled=*/true);
+  for (size_t b = 0; b < kBatches; ++b) {
+    const data::BprBatch expected = plain.SampleBatch(32);
+    const data::BprBatch got = prefetcher.Next();
+    ASSERT_EQ(expected.users, got.users) << "batch " << b;
+    ASSERT_EQ(expected.pos_items, got.pos_items) << "batch " << b;
+    ASSERT_EQ(expected.neg_items, got.neg_items) << "batch " << b;
+  }
+  // Having drawn exactly the epoch's batches, the RNG states agree — the
+  // property that keeps checkpoints bit-identical under prefetch.
+  EXPECT_EQ(plain.rng_state().s[0], prefetched.rng_state().s[0]);
+  EXPECT_EQ(plain.rng_state().s[3], prefetched.rng_state().s[3]);
+}
+
+TEST(BatchPrefetcherTest, DestructionWithUnconsumedBatchesDoesNotDeadlock) {
+  const auto& interactions = TestDataset().interactions;
+  data::BprSampler sampler(&interactions, 99);
+  {
+    data::BatchPrefetcher prefetcher(&sampler, 16, 100, /*enabled=*/true);
+    (void)prefetcher.Next();  // consume 1 of 100, then destroy
+  }
+  {
+    data::BatchPrefetcher untouched(&sampler, 16, 100, /*enabled=*/true);
+  }  // consume none at all
+  SUCCEED();
+}
+
+TEST(BatchPrefetcherTest, DisabledModeSamplesSynchronously) {
+  const auto& interactions = TestDataset().interactions;
+  data::BprSampler plain(&interactions, 4321);
+  data::BprSampler wrapped(&interactions, 4321);
+  data::BatchPrefetcher prefetcher(&wrapped, 24, 3, /*enabled=*/false);
+  for (size_t b = 0; b < 3; ++b) {
+    const data::BprBatch expected = plain.SampleBatch(24);
+    const data::BprBatch got = prefetcher.Next();
+    ASSERT_EQ(expected.users, got.users);
+    ASSERT_EQ(expected.neg_items, got.neg_items);
+  }
+}
+
+// --- resume across thread counts ---------------------------------------------
+
+TEST(ParallelTrainerTest, ResumeSwitchingThreadCountsStaysBitIdentical) {
+  const ModelFactory factory = ZooFactory("BPR");
+  models::TrainConfig config = BaseConfig();
+  config.epochs = 3;
+
+  config.train_threads = 2;
+  config.slice_size = 16;
+  const std::string straight =
+      TrainedStateBytes(factory, config, "straight");
+
+  // Interrupted run: one epoch sequentially, checkpoint, then resume on a
+  // different thread count (train_threads is deliberately outside the
+  // checkpoint's config identity).
+  const std::string state_path = TempPath("hosr_ptrain_resume_state");
+  {
+    models::TrainConfig first = config;
+    first.train_threads = 1;
+    auto model = factory();
+    models::BprTrainer trainer(model.get(), &TestDataset().interactions,
+                               first);
+    trainer.RunEpoch();
+    ASSERT_TRUE(trainer.SaveTrainingState(state_path).ok());
+  }
+  {
+    models::TrainConfig rest = config;
+    rest.train_threads = 4;
+    rest.slice_size = 9;
+    auto model = factory();
+    models::BprTrainer trainer(model.get(), &TestDataset().interactions,
+                               rest);
+    ASSERT_TRUE(trainer.RestoreTrainingState(state_path).ok());
+    EXPECT_EQ(trainer.epoch(), 1u);
+    trainer.Train();
+    ASSERT_TRUE(trainer.SaveTrainingState(state_path).ok());
+  }
+  EXPECT_EQ(straight, ReadRaw(state_path))
+      << "kill-and-resume across thread counts diverged";
+  std::remove(state_path.c_str());
+}
+
+TEST(ParallelTrainerTest, SparseStepsIsPartOfCheckpointIdentity) {
+  const ModelFactory factory = ZooFactory("BPR");
+  models::TrainConfig config = BaseConfig();
+  config.sparse_steps = true;
+
+  const std::string state_path = TempPath("hosr_ptrain_sparse_state");
+  {
+    auto model = factory();
+    models::BprTrainer trainer(model.get(), &TestDataset().interactions,
+                               config);
+    trainer.RunEpoch();
+    ASSERT_TRUE(trainer.SaveTrainingState(state_path).ok());
+  }
+  // Restoring a sparse-step checkpoint into a dense-step trainer must be
+  // refused: lazy decay makes them different trajectories.
+  models::TrainConfig dense = config;
+  dense.sparse_steps = false;
+  auto model = factory();
+  models::BprTrainer trainer(model.get(), &TestDataset().interactions,
+                             dense);
+  const util::Status status = trainer.RestoreTrainingState(state_path);
+  EXPECT_FALSE(status.ok());
+  std::remove(state_path.c_str());
+}
+
+// --- fallback + stats --------------------------------------------------------
+
+TEST(ParallelTrainerTest, UnslicedModelFallsBackToSequential) {
+  const ModelFactory factory = ZooFactory("NCF");
+  ASSERT_FALSE(factory()->SupportsSlicedLoss());
+  models::TrainConfig config = BaseConfig();
+  config.epochs = 1;
+
+  const std::string sequential = TrainedStateBytes(factory, config, "ncf1");
+  config.train_threads = 4;  // ignored with a warning, not an abort
+  EXPECT_EQ(sequential, TrainedStateBytes(factory, config, "ncf4"));
+}
+
+TEST(ParallelTrainerTest, EpochStatsCountActuallySampledTriples) {
+  const ModelFactory factory = ZooFactory("BPR");
+  models::TrainConfig config = BaseConfig();
+  config.epochs = 1;
+  config.train_threads = 2;
+  auto model = factory();
+  models::BprTrainer trainer(model.get(), &TestDataset().interactions,
+                             config);
+  const models::EpochStats stats = trainer.RunEpoch();
+  EXPECT_EQ(stats.samples, stats.batches * config.batch_size)
+      << "samples must sum the actual batch sizes";
+  EXPECT_GT(stats.batches, 0u);
+  if (stats.seconds > 0.0) {
+    EXPECT_NEAR(stats.samples_per_sec,
+                static_cast<double>(stats.samples) / stats.seconds,
+                1e-9 * stats.samples_per_sec + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hosr
