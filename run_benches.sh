@@ -45,6 +45,26 @@ for b in build/bench/*; do
   fi
 done
 
+# Continuous-profiling parity gate (docs/OBSERVABILITY.md "Continuous
+# profiling"): the serve_profile bench must show <5% replay overhead with
+# the profiler + timeseries recorder armed. profile_smoke covers the
+# correctness side; this keeps the cost side honest on every bench run.
+if [ -f "$METRICS_DIR/serve_profile.json" ]; then
+  if ! python3 - "$METRICS_DIR/serve_profile.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    metrics = json.load(f)["metrics"]
+penalty = metrics["bench/serve_profile/profile_overhead_penalty"]["value"]
+assert penalty < 1.05, \
+    "profiler overhead penalty %.3f breaches the 5%% parity gate" % penalty
+print("serve_profile parity gate OK (penalty %.3f)" % penalty)
+EOF
+  then
+    echo "ERROR: serve_profile <5% overhead parity gate failed" >&2
+    status=1
+  fi
+fi
+
 if [ -n "$BASELINE_DIR" ]; then
   if [ ! -x build/tools/bench_diff ]; then
     echo "ERROR: --baseline_dir given but build/tools/bench_diff not built" >&2

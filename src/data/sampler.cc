@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hosr::data {
 
@@ -126,8 +127,17 @@ BprBatch BatchPrefetcher::Next() {
   ++consumed_;
   if (!enabled_) return sampler_->SampleBatch(batch_size_);
   std::unique_lock<std::mutex> lock(mutex_);
-  if (queue_.empty()) HOSR_COUNTER("sampler/prefetch_stalls").Increment();
-  batch_ready_.wait(lock, [this] { return !queue_.empty(); });
+  if (queue_.empty()) {
+    // Stall: the consumer outran the producer. Record the time blocked, not
+    // just the event, so the training timeline can show stall *time*
+    // (trainer/prefetch_stall_ratio) rather than a bare count.
+    HOSR_COUNTER("sampler/prefetch_stalls").Increment();
+    const int64_t wait_begin_ns = obs::NowNanos();
+    batch_ready_.wait(lock, [this] { return !queue_.empty(); });
+    HOSR_HISTOGRAM("sampler/prefetch_stall_us")
+        .Observe(static_cast<double>(obs::NowNanos() - wait_begin_ns) /
+                 1000.0);
+  }
   BprBatch batch = std::move(queue_.front());
   queue_.pop_front();
   lock.unlock();

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <iterator>
 #include <limits>
 #include <mutex>
 #include <sstream>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -28,6 +30,49 @@ constexpr uint32_t kTrainStateVersion = 2;
 constexpr uint32_t kTrainStateMinVersion = 1;
 constexpr uint32_t kEndianMarker = 0x01020304;
 constexpr uint32_t kTrainStateSentinel = 0x4b435448;  // magic reversed
+
+// Per-phase timeline counters: cumulative microseconds per training phase,
+// turned into windowed rates by the timeseries recorder (/timeseriez) and
+// into per-epoch utilization gauges by RunEpoch. Counters are always live
+// (unlike spans, which need obs::SetEnabled), so the timeline exists even
+// when tracing is off; the cost is two NowNanos() calls per phase.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(obs::Counter& counter)
+      : counter_(counter), begin_ns_(obs::NowNanos()) {}
+  ~PhaseTimer() {
+    counter_.Increment(
+        static_cast<uint64_t>((obs::NowNanos() - begin_ns_) / 1000));
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  obs::Counter& counter_;
+  int64_t begin_ns_;
+};
+
+#define HOSR_PHASE_US(name)                                     \
+  PhaseTimer HOSR_OBS_CONCAT_(hosr_phase_timer_at_line_,        \
+                              __LINE__)(HOSR_COUNTER(name))
+
+// Every phase counter the per-epoch utilization gauges cover. Sequential
+// epochs move forward/backward/step; parallel epochs move the engine's five
+// phases; both move sample (prefetcher waits on the consumer side).
+constexpr const char* kPhaseCounterNames[] = {
+    "trainer/sample_us",         "trainer/forward_us",
+    "trainer/backward_us",       "trainer/shared_forward_us",
+    "trainer/slice_backward_us", "trainer/reduce_us",
+    "trainer/seeded_backward_us", "trainer/step_us",
+};
+
+// "trainer/<phase>_us" -> "trainer/<phase>_util".
+std::string PhaseUtilName(std::string_view counter_name) {
+  std::string name(counter_name.substr(0, counter_name.size() - 3));
+  name.append("_util");
+  return name;
+}
 
 template <typename T>
 void WritePod(std::ostream* out, const T& v) {
@@ -314,6 +359,7 @@ class ParallelEngine {
     SharedForward shared;
     {
       HOSR_TRACE_SPAN("trainer/shared_forward");
+      HOSR_PHASE_US("trainer/shared_forward_us");
       model_->BuildSharedForward(&shared, batch, rng);
     }
 
@@ -324,6 +370,7 @@ class ParallelEngine {
     slice_losses_.assign(num_slices, 0.0f);
     {
       HOSR_TRACE_SPAN("trainer/slice_backward");
+      HOSR_PHASE_US("trainer/slice_backward_us");
       team_.Run(num_slices, [&](size_t s) {
         const size_t begin = s * slice_size;
         const size_t end = std::min(batch.size(), begin + slice_size);
@@ -358,6 +405,7 @@ class ParallelEngine {
 
     {
       HOSR_TRACE_SPAN("trainer/reduce");
+      HOSR_PHASE_US("trainer/reduce_us");
       for (auto& per_param : shard_touched_) {
         for (auto& rows : per_param) rows.clear();
       }
@@ -371,6 +419,7 @@ class ParallelEngine {
 
     {
       HOSR_TRACE_SPAN("trainer/seeded_backward");
+      HOSR_PHASE_US("trainer/seeded_backward_us");
       std::vector<std::pair<autograd::Value, tensor::Matrix>> seed_pairs;
       for (size_t key = 0; key < seeds.size(); ++key) {
         if (seeds[key].empty()) continue;
@@ -383,6 +432,7 @@ class ParallelEngine {
 
     {
       HOSR_TRACE_SPAN("trainer/step");
+      HOSR_PHASE_US("trainer/step_us");
       if (sparse_mode_) {
         const size_t plan_rows = BuildPlan(shared);
         HOSR_COUNTER("trainer/sparse_rows").Increment(plan_rows);
@@ -679,20 +729,26 @@ void BprTrainer::RunBatchesSequential(data::BatchPrefetcher* prefetcher,
                                       size_t num_batches, EpochStats* stats) {
   double total_loss = 0.0;
   for (size_t b = 0; b < num_batches; ++b) {
-    const data::BprBatch batch = prefetcher->Next();
+    const data::BprBatch batch = [&] {
+      HOSR_PHASE_US("trainer/sample_us");
+      return prefetcher->Next();
+    }();
     stats->samples += batch.size();
     autograd::Tape tape;
     autograd::Value loss = [&] {
       HOSR_TRACE_SPAN("trainer/forward");
+      HOSR_PHASE_US("trainer/forward_us");
       return model_->BuildLoss(&tape, batch, &rng_);
     }();
     {
       HOSR_TRACE_SPAN("trainer/backward");
+      HOSR_PHASE_US("trainer/backward_us");
       model_->params()->ZeroGrad();
       tape.Backward(loss);
     }
     {
       HOSR_TRACE_SPAN("trainer/step");
+      HOSR_PHASE_US("trainer/step_us");
       optimizer_->Step(model_->params());
     }
     total_loss += loss.value()(0, 0);
@@ -710,7 +766,10 @@ void BprTrainer::RunBatchesParallel(data::BatchPrefetcher* prefetcher,
   model_->params()->ZeroGrad();
   double total_loss = 0.0;
   for (size_t b = 0; b < num_batches; ++b) {
-    const data::BprBatch batch = prefetcher->Next();
+    const data::BprBatch batch = [&] {
+      HOSR_PHASE_US("trainer/sample_us");
+      return prefetcher->Next();
+    }();
     stats->samples += batch.size();
     total_loss += engine.TrainBatch(batch, epoch_, b, &rng_);
     HOSR_COUNTER("trainer/parallel_batches").Increment();
@@ -733,6 +792,18 @@ EpochStats BprTrainer::RunEpoch() {
   data::BatchPrefetcher prefetcher(&sampler_, config_.batch_size, num_batches,
                                    config_.prefetch);
 
+  // Phase-counter checkpoint: the deltas across this epoch become the
+  // per-epoch utilization gauges below. Registry lookups (not the caching
+  // macros) because the names vary per loop iteration.
+  constexpr size_t kNumPhases = std::size(kPhaseCounterNames);
+  uint64_t phase_us_before[kNumPhases];
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    phase_us_before[i] =
+        obs::Registry::Global().GetCounter(kPhaseCounterNames[i])->Get();
+  }
+  const double stall_us_before =
+      obs::Registry::Global().GetHistogram("sampler/prefetch_stall_us")->Sum();
+
   EpochStats stats;
   stats.epoch = epoch_;
   stats.batches = num_batches;
@@ -753,6 +824,29 @@ EpochStats BprTrainer::RunEpoch() {
   HOSR_GAUGE("trainer/samples_per_sec").Set(stats.samples_per_sec);
   HOSR_COUNTER("trainer/epochs").Increment();
   HOSR_COUNTER("trainer/batches").Increment(num_batches);
+
+  // Per-phase epoch timeline: fraction of this epoch's wall clock spent in
+  // each phase (wall time per phase, so parallel phases count once, not per
+  // worker). Phases the active path never entered read 0.
+  const double epoch_us = stats.seconds * 1e6;
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    const uint64_t delta_us =
+        obs::Registry::Global().GetCounter(kPhaseCounterNames[i])->Get() -
+        phase_us_before[i];
+    obs::Registry::Global()
+        .GetGauge(PhaseUtilName(kPhaseCounterNames[i]))
+        ->Set(epoch_us > 0.0 ? static_cast<double>(delta_us) / epoch_us
+                             : 0.0);
+  }
+  // Stall time (not just counts) the prefetcher consumer spent blocked on
+  // an empty queue, as a fraction of the epoch.
+  const double stall_us =
+      obs::Registry::Global()
+          .GetHistogram("sampler/prefetch_stall_us")
+          ->Sum() -
+      stall_us_before;
+  HOSR_GAUGE("trainer/prefetch_stall_ratio")
+      .Set(epoch_us > 0.0 ? stall_us / epoch_us : 0.0);
 
   if (config_.verbose) {
     HOSR_LOG(Info) << model_->name() << " epoch " << epoch_ << " loss "

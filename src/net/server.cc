@@ -102,6 +102,10 @@ util::Status NetServer::Start() {
   for (int i = 0; i < options_.worker_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  // Pool size next to net/worker_busy_us: utilization = busy-rate /
+  // (workers * 1e6) straight off a /timeseriez window.
+  HOSR_GAUGE("net/worker_threads")
+      .Set(static_cast<double>(options_.worker_threads));
   acceptor_ = std::thread([this] { AcceptLoop(); });
   started_ = true;
   HOSR_LOG(Info) << "net server listening on "
@@ -421,6 +425,11 @@ bool NetServer::ServeOneFrame(int fd) {
   }
   HOSR_HISTOGRAM("net/request_latency_ms")
       .Observe(static_cast<double>(obs::NowNanos() - begin_ns) / 1e6);
+  // Cumulative worker-busy time across the pool; the timeseries recorder
+  // turns it into a windowed utilization history for serving dashboards.
+  HOSR_COUNTER("net/worker_busy_us")
+      .Increment(
+          static_cast<uint64_t>((obs::NowNanos() - begin_ns) / 1000));
 
   if (!WriteResponseFrame(
           fd, EncodeFrame(FrameType::kQueryReply,

@@ -12,6 +12,8 @@
 
 #include "net/socket.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -41,10 +43,26 @@ bool SendAll(int fd, std::string_view data) {
                            0
 #endif
     );
+    if (n < 0 && errno == EINTR) continue;  // e.g. a SIGPROF sample landed
     if (n <= 0) return false;
     sent += static_cast<size_t>(n);
   }
   return true;
+}
+
+// "key=value" lookup in an '&'-separated query string; empty when absent.
+std::string_view QueryParam(std::string_view query, std::string_view key) {
+  while (!query.empty()) {
+    const size_t amp = query.find('&');
+    const std::string_view pair = query.substr(0, amp);
+    if (pair.size() > key.size() + 1 &&
+        pair.substr(0, key.size()) == key && pair[key.size()] == '=') {
+      return pair.substr(key.size() + 1);
+    }
+    if (amp == std::string_view::npos) break;
+    query = query.substr(amp + 1);
+  }
+  return {};
 }
 
 std::string_view ReasonPhrase(int status_code) {
@@ -304,9 +322,8 @@ HttpResponse AdminServer::HandlePath(std::string_view path) const {
     // /tracez?limit=N adjusts it.
     constexpr size_t kDefaultTracezSpans = 2048;
     size_t limit = kDefaultTracezSpans;
-    constexpr std::string_view kLimitKey = "limit=";
-    if (query_string.substr(0, kLimitKey.size()) == kLimitKey) {
-      const std::string value(query_string.substr(kLimitKey.size()));
+    if (const std::string value(QueryParam(query_string, "limit"));
+        !value.empty()) {
       char* parse_end = nullptr;
       const unsigned long long parsed =
           std::strtoull(value.c_str(), &parse_end, 10);
@@ -315,6 +332,42 @@ HttpResponse AdminServer::HandlePath(std::string_view path) const {
       }
     }
     response.body = SpansToJson(NewestSpans(limit));
+  } else if (path == "/profilez") {
+    // Samples this process's CPU for the bounded window and returns the
+    // collapsed stacks. The sleep happens on this handler thread, so a
+    // window occupies one of the pool's slots — CollectWindow makes
+    // concurrent callers share the active window instead of serializing
+    // full windows behind each other.
+    double seconds = 1.0;
+    if (const std::string value(QueryParam(query_string, "seconds"));
+        !value.empty()) {
+      char* parse_end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &parse_end);
+      if (parse_end != value.c_str() && parsed > 0.0) seconds = parsed;
+    }
+    auto profile = Profiler::Global().CollectWindow(seconds);
+    if (!profile.ok()) {
+      response.status_code = 503;
+      response.body = util::StrFormat(
+          "{\"error\": \"%s\"}\n",
+          JsonEscapeString(profile.status().ToString()).c_str());
+    } else if (QueryParam(query_string, "format") == "summary") {
+      response.body = profile.value().SummaryJson();
+    } else {
+      response.content_type = "text/plain";
+      response.body = std::move(profile.value().collapsed);
+    }
+  } else if (path == "/timeseriez") {
+    const std::string_view metric = QueryParam(query_string, "metric");
+    size_t windows = 0;
+    if (const std::string value(QueryParam(query_string, "windows"));
+        !value.empty()) {
+      char* parse_end = nullptr;
+      const unsigned long long parsed =
+          std::strtoull(value.c_str(), &parse_end, 10);
+      if (parse_end != value.c_str()) windows = static_cast<size_t>(parsed);
+    }
+    response.body = TimeseriesRecorder::Global().ToJson(metric, windows);
   } else if (path == "/reloadz") {
     response.status_code = 405;
     response.body = "{\"error\": \"/reloadz requires POST\"}\n";
@@ -323,7 +376,8 @@ HttpResponse AdminServer::HandlePath(std::string_view path) const {
     response.body = util::StrFormat(
         "{\"error\": \"no such endpoint: %s\", \"endpoints\": "
         "[\"/metricsz\", \"/healthz\", \"/readyz\", \"/varz\", "
-        "\"/tracez\", \"/reloadz (POST)\"]}\n",
+        "\"/tracez\", \"/profilez\", \"/timeseriez\", "
+        "\"/reloadz (POST)\"]}\n",
         JsonEscapeString(path).c_str());
   }
   return response;
@@ -365,6 +419,7 @@ void AdminServer::ServeConnection(int fd) const {
   while (request.find('\n') == std::string::npos &&
          request.size() < 8 * 1024) {
     const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;  // e.g. a SIGPROF sample landed
     if (n <= 0) break;
     request.append(buffer, static_cast<size_t>(n));
   }
@@ -397,13 +452,14 @@ void AdminServer::ServeConnection(int fd) const {
 
   const std::string header = util::StrFormat(
       "HTTP/1.0 %d %.*s\r\n"
-      "Content-Type: application/json\r\n"
+      "Content-Type: %s\r\n"
       "Content-Length: %zu\r\n"
       "Connection: close\r\n"
       "\r\n",
       response.status_code,
       static_cast<int>(ReasonPhrase(response.status_code).size()),
-      ReasonPhrase(response.status_code).data(), response.body.size());
+      ReasonPhrase(response.status_code).data(),
+      response.content_type.c_str(), response.body.size());
   if (SendAll(fd, header)) SendAll(fd, response.body);
 }
 
@@ -433,6 +489,7 @@ util::StatusOr<HttpResponse> AdminHttpRoundTrip(int port,
   for (;;) {
     const ssize_t n = recv(fd.get(), buffer, sizeof(buffer), 0);
     if (n < 0) {
+      if (errno == EINTR) continue;  // e.g. the caller is being profiled
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return util::Status::DeadlineExceeded(
             util::StrFormat("recv timed out after %ds",

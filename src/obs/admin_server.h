@@ -80,6 +80,9 @@ class HealthTracker {
 struct HttpResponse {
   int status_code = 0;
   std::string body;
+  // Response media type; /profilez serves text/plain collapsed stacks,
+  // everything else JSON. (Ignored on the client-parse side.)
+  std::string content_type = "application/json";
 };
 
 // Dependency-free blocking HTTP/1.0 admin endpoint: one listener thread
@@ -92,6 +95,13 @@ struct HttpResponse {
 //   /readyz    {"ready": true|false}; 503 until the host flips readiness
 //   /varz      build/runtime info: host-set vars + uptime + port
 //   /tracez    recent spans as Chrome trace_event JSON (same as --trace_out)
+//   /profilez  sample the process CPU for ?seconds=N (default 1, max 30)
+//              and return flamegraph-ready collapsed stacks as text/plain;
+//              concurrent requests share the active profiling window, and
+//              a continuous --profile_out session answers from its
+//              accumulated snapshot instead of restarting the timer
+//   /timeseriez windowed metric history JSON (?metric=SUBSTR to filter
+//              series, ?windows=N to bound points per series)
 //   /reloadz   POST only: runs the host-registered reload handler
 //              (hosr_serve wires SnapshotManager::ReloadNow) and answers
 //              200 on swap / 503 on reject; 404 when no handler is set

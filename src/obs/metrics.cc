@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/context.h"
@@ -91,6 +92,34 @@ void Histogram::Reset() {
     slot.trace_id.store(0, std::memory_order_relaxed);
     slot.value.store(0.0, std::memory_order_relaxed);
   }
+}
+
+double QuantileFromBuckets(const std::vector<uint64_t>& buckets, double q) {
+  uint64_t total = 0;
+  for (const uint64_t count : buckets) total += count;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest rank (1-based): the smallest rank covering fraction q.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      const int index = static_cast<int>(i);
+      const double upper = Histogram::BucketUpperBound(index);
+      // Bucket 0 also absorbs non-positive values and underflow, so its
+      // interpolation floor is 0 rather than its nominal power of two.
+      const double lower =
+          index == 0 ? 0.0 : Histogram::BucketUpperBound(index - 1);
+      const double fraction = static_cast<double>(rank - before) /
+                              static_cast<double>(buckets[i]);
+      return lower + fraction * (upper - lower);
+    }
+  }
+  return Histogram::BucketUpperBound(static_cast<int>(buckets.size()) - 1);
 }
 
 bool IsValidMetricName(std::string_view name) {
@@ -229,6 +258,7 @@ std::string Registry::ToJson() const {
   for (const auto& [name, histogram] : histograms_) {
     begin_entry(name);
     const uint64_t count = histogram->Count();
+    const std::vector<uint64_t> buckets = histogram->BucketSnapshot();
     json.append(util::StrFormat("{\"type\": \"histogram\", \"count\": %llu",
                                 static_cast<unsigned long long>(count)));
     json.append(", \"sum\": ");
@@ -238,9 +268,16 @@ std::string Registry::ToJson() const {
       AppendJsonNumber(histogram->Min(), &json);
       json.append(", \"max\": ");
       AppendJsonNumber(histogram->Max(), &json);
+      // Precomputed summary quantiles (log-bucket estimates) so dashboards
+      // and bench_diff never re-derive them from the bucket list.
+      json.append(", \"p50\": ");
+      AppendJsonNumber(QuantileFromBuckets(buckets, 0.50), &json);
+      json.append(", \"p95\": ");
+      AppendJsonNumber(QuantileFromBuckets(buckets, 0.95), &json);
+      json.append(", \"p99\": ");
+      AppendJsonNumber(QuantileFromBuckets(buckets, 0.99), &json);
     }
     json.append(", \"buckets\": [");
-    const std::vector<uint64_t> buckets = histogram->BucketSnapshot();
     bool first_bucket = true;
     for (int i = 0; i < Histogram::kNumBuckets; ++i) {
       if (buckets[i] == 0) continue;
@@ -267,6 +304,27 @@ std::string Registry::ToJson() const {
   }
   json.append("\n  }\n}\n");
   return json;
+}
+
+void Registry::VisitMetrics(
+    const std::function<void(const std::string&, Counter*)>& counter_fn,
+    const std::function<void(const std::string&, Gauge*)>& gauge_fn,
+    const std::function<void(const std::string&, Histogram*)>& histogram_fn)
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counter_fn) {
+    for (const auto& [name, counter] : counters_) {
+      counter_fn(name, counter.get());
+    }
+  }
+  if (gauge_fn) {
+    for (const auto& [name, gauge] : gauges_) gauge_fn(name, gauge.get());
+  }
+  if (histogram_fn) {
+    for (const auto& [name, histogram] : histograms_) {
+      histogram_fn(name, histogram.get());
+    }
+  }
 }
 
 void Registry::ResetForTesting() {

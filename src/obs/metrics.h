@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -116,6 +117,13 @@ bool IsValidMetricName(std::string_view name);
 // quotes not included). Shared by every obs JSON emitter.
 std::string JsonEscapeString(std::string_view text);
 
+// Quantile estimate over log-scale bucket counts (`buckets` indexed like
+// Histogram::BucketSnapshot()): nearest-rank walk with linear interpolation
+// inside the winning bucket. `q` in [0, 1]; returns 0 when the counts sum
+// to zero. Shared by the /metricsz histogram summary fields and the
+// timeseries windowed p50/p95/p99 (which feeds it per-window bucket deltas).
+double QuantileFromBuckets(const std::vector<uint64_t>& buckets, double q);
+
 // Process-wide named-metric registry. Lookup takes a mutex and returns a
 // pointer that stays valid for the life of the process, so callers resolve
 // once (the HOSR_COUNTER/... macros cache in a function-local static) and
@@ -130,8 +138,19 @@ class Registry {
   Histogram* GetHistogram(std::string_view name);
 
   // One JSON object: {"metrics": {"name": {"type": ..., ...}, ...}}.
-  // Histograms export count/sum/min/max plus the non-empty buckets.
+  // Histograms export count/sum/min/max, precomputed p50/p95/p99, and the
+  // non-empty buckets.
   std::string ToJson() const;
+
+  // Calls the visitors for every registered metric of each kind, under the
+  // registry lock, in name order. The pointers handed out are process-
+  // lifetime stable, so callers (e.g. the timeseries recorder) may retain
+  // them after the visit returns. Null visitors skip that kind.
+  void VisitMetrics(
+      const std::function<void(const std::string&, Counter*)>& counter_fn,
+      const std::function<void(const std::string&, Gauge*)>& gauge_fn,
+      const std::function<void(const std::string&, Histogram*)>& histogram_fn)
+      const;
 
   // Zeroes every metric in place; previously returned pointers stay valid.
   void ResetForTesting();

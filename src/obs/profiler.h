@@ -1,0 +1,96 @@
+#ifndef HOSR_OBS_PROFILER_H_
+#define HOSR_OBS_PROFILER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace hosr::obs {
+
+// One finished profiling session, ready for export.
+struct Profile {
+  // Flamegraph-ready collapsed stacks: one "frame;frame;leaf count\n" line
+  // per distinct stack, root frame first — pipe straight into flamegraph.pl.
+  std::string collapsed;
+  double duration_seconds = 0.0;
+  int hz = 0;
+  uint64_t samples = 0;          // stacks captured into the rings
+  uint64_t dropped = 0;          // lost to ring overflow or thread-pool cap
+  uint64_t distinct_stacks = 0;  // unique collapsed lines
+
+  // {"duration_seconds": ..., "hz": ..., "samples": ..., "dropped": ...,
+  //  "distinct_stacks": ..., "top": [{"symbol": ..., "count": ...}, ...]}
+  // where "top" ranks leaf frames by sample count (self time).
+  std::string SummaryJson(size_t top_n = 20) const;
+};
+
+// Sampling CPU profiler: setitimer(ITIMER_PROF) delivers SIGPROF on CPU
+// time at `hz`, and the handler walks the interrupted thread's stack with
+// backtrace() into a lock-free per-thread sample ring. A collector thread
+// drains the rings off the hot path and aggregates stack counts; Stop()
+// symbolizes the program counters (dladdr + demangle — never in the
+// handler) and renders collapsed stacks.
+//
+// Async-signal-safety contract: the handler allocates nothing and takes no
+// locks — it claims a preallocated ring slot per thread via an atomic pool
+// index and publishes samples with a release store (obs_profile_test
+// asserts the no-allocation property with an operator-new guard).
+//
+// One session at a time, process-wide (ITIMER_PROF is a process resource).
+// Continuous mode (Start/StopAndCollect) powers --profile_out; bounded
+// windows (CollectWindow) power the admin /profilez endpoint. Concurrent
+// CollectWindow calls share one active session: joiners block until the
+// leader's window closes and receive the same Profile.
+class Profiler {
+ public:
+  struct Options {
+    int hz = 99;  // sampling rate; 99 avoids lockstep with 100Hz tickers
+  };
+
+  static constexpr int kMaxFrames = 64;     // deepest stack kept per sample
+  static constexpr int kRingCapacity = 512;  // samples buffered per thread
+  static constexpr int kMaxThreads = 64;     // per-thread rings in the pool
+
+  static Profiler& Global();
+
+  // Arms the timer and installs the SIGPROF handler. FailedPrecondition if
+  // a session (continuous or window) is already running.
+  util::Status Start(const Options& options);
+
+  // Disarms, drains, symbolizes. Returns the session's profile; a default
+  // Profile if no session was running.
+  Profile StopAndCollect();
+
+  // Renders the running continuous session's stacks so far without
+  // stopping it (FailedPrecondition when not running).
+  util::StatusOr<Profile> SnapshotNow();
+
+  bool running() const;
+
+  // Samples for `seconds` (clamped to [0.1, 30]) and returns the collapsed
+  // profile. If a continuous session is live, returns its snapshot instead
+  // of disturbing it; if another window is in flight, joins it.
+  util::StatusOr<Profile> CollectWindow(double seconds, Options options);
+  util::StatusOr<Profile> CollectWindow(double seconds) {
+    return CollectWindow(seconds, Options());
+  }
+
+  // True while the calling thread is inside the SIGPROF handler — lets the
+  // signal-safety stress test's operator-new override detect (and fail on)
+  // any allocation attempted from the handler path.
+  static bool InHandlerForTesting();
+
+ private:
+  Profiler() = default;
+
+  // All mutable state is file-static in profiler.cc: the SIGPROF handler
+  // can only touch globals with async-signal-safe access patterns, so
+  // keeping the rings out of the object removes any temptation to lock.
+};
+
+}  // namespace hosr::obs
+
+#endif  // HOSR_OBS_PROFILER_H_

@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/fileio.h"
 #include "util/logging.h"
@@ -77,6 +79,8 @@ namespace {
 struct ArtifactConfig {
   std::string trace_path;
   std::string metrics_path;
+  std::string profile_path;
+  std::string timeseries_path;
   std::unique_ptr<StatsReporter> interval_reporter;
 };
 
@@ -127,17 +131,26 @@ void InitFromFlags(const util::Flags& flags) {
   const std::string trace_path = flags.GetString("trace_out", "");
   const std::string metrics_path = flags.GetString("metrics_out", "");
   const double interval = flags.GetDouble("metrics_interval", 0.0);
-  if (trace_path.empty() && metrics_path.empty()) return;
+  const std::string profile_path = flags.GetString("profile_out", "");
+  const std::string timeseries_path = flags.GetString("timeseries_out", "");
+  if (trace_path.empty() && metrics_path.empty() && profile_path.empty() &&
+      timeseries_path.empty()) {
+    return;
+  }
 
   SetEnabled(true);
   bool register_atexit = false;
   {
     std::lock_guard<std::mutex> lock(ArtifactsMutex());
     ArtifactConfig& config = Artifacts();
-    register_atexit =
-        config.trace_path.empty() && config.metrics_path.empty();
+    register_atexit = config.trace_path.empty() &&
+                      config.metrics_path.empty() &&
+                      config.profile_path.empty() &&
+                      config.timeseries_path.empty();
     if (!trace_path.empty()) config.trace_path = trace_path;
     if (!metrics_path.empty()) config.metrics_path = metrics_path;
+    if (!profile_path.empty()) config.profile_path = profile_path;
+    if (!timeseries_path.empty()) config.timeseries_path = timeseries_path;
     if (interval > 0.0 && !metrics_path.empty() &&
         config.interval_reporter == nullptr) {
       StatsReporter::Options options;
@@ -147,14 +160,64 @@ void InitFromFlags(const util::Flags& flags) {
     }
   }
   if (register_atexit) std::atexit(AtExitFlush);
+
+  if (!profile_path.empty()) {
+    Profiler::Options options;
+    options.hz = static_cast<int>(flags.GetInt("profile_hz", 99));
+    if (auto status = Profiler::Global().Start(options); !status.ok()) {
+      HOSR_LOG(Warning) << "could not arm --profile_out profiler: "
+                        << status;
+    }
+  }
+  if (!timeseries_path.empty() && !TimeseriesRecorder::Global().running()) {
+    TimeseriesRecorder::Options options;
+    options.snapshot_interval_s =
+        flags.GetDouble("timeseries_interval", 1.0);
+    if (auto status = TimeseriesRecorder::Global().Start(options);
+        !status.ok()) {
+      HOSR_LOG(Warning) << "could not start --timeseries_out recorder: "
+                        << status;
+    }
+  }
 }
 
 void FlushArtifacts() {
-  std::string trace_path, metrics_path;
+  std::string trace_path, metrics_path, profile_path, timeseries_path;
   {
     std::lock_guard<std::mutex> lock(ArtifactsMutex());
     trace_path = Artifacts().trace_path;
     metrics_path = Artifacts().metrics_path;
+    profile_path = Artifacts().profile_path;
+    timeseries_path = Artifacts().timeseries_path;
+  }
+  // Profiler first: stopping it is what finalizes the sample set, and only
+  // a running session writes — a second flush (explicit + atexit) must not
+  // overwrite the artifact with an empty re-collection.
+  if (!profile_path.empty() && Profiler::Global().running()) {
+    const Profile profile = Profiler::Global().StopAndCollect();
+    if (auto status = util::WriteFileAtomic(profile_path, profile.collapsed);
+        status.ok()) {
+      HOSR_LOG(Info) << "wrote collapsed stacks to " << profile_path << " ("
+                     << profile.samples << " samples)";
+    } else {
+      HOSR_LOG(Warning) << "profile dump failed: " << status;
+    }
+    const std::string summary_path = profile_path + ".summary.json";
+    if (auto status =
+            util::WriteFileAtomic(summary_path, profile.SummaryJson());
+        !status.ok()) {
+      HOSR_LOG(Warning) << "profile summary dump failed: " << status;
+    }
+  }
+  if (!timeseries_path.empty()) {
+    TimeseriesRecorder::Global().Stop();  // final snapshot; idempotent
+    if (auto status = TimeseriesRecorder::Global().DumpToFile(
+            timeseries_path);
+        status.ok()) {
+      HOSR_LOG(Info) << "wrote timeseries history to " << timeseries_path;
+    } else {
+      HOSR_LOG(Warning) << "timeseries dump failed: " << status;
+    }
   }
   if (!metrics_path.empty()) {
     if (auto status = WriteMetricsJson(metrics_path); status.ok()) {

@@ -69,10 +69,18 @@ class StatsReporter {
 //   --metrics_out=FILE        dump the metrics registry JSON at process exit
 //   --trace_out=FILE          dump the Chrome trace JSON at process exit
 //   --metrics_interval=SECS   also rewrite --metrics_out every SECS seconds
+//   --profile_out=FILE        run the sampling CPU profiler for the whole
+//                             process lifetime; write collapsed stacks to
+//                             FILE and a JSON summary to FILE.summary.json
+//                             at exit
+//   --profile_hz=N            profiler sampling rate (default 99)
+//   --timeseries_out=FILE     run the timeseries recorder; dump the CRC-
+//                             footed windowed-history JSON to FILE at exit
+//   --timeseries_interval=S   recorder snapshot cadence (default 1.0)
 //   --log_level=debug|info|warning|error
-// Enables span/histogram capture (SetEnabled(true)) when either output path
-// is set, and registers an atexit hook that stops the interval reporter and
-// writes both artifacts.
+// Enables span/histogram capture (SetEnabled(true)) when any output path is
+// set, and registers an atexit hook that stops the interval reporter,
+// profiler, and recorder, then writes every configured artifact.
 void InitFromFlags(const util::Flags& flags);
 
 // Writes whatever InitFromFlags configured, immediately (also runs at exit).

@@ -2,7 +2,7 @@
 //
 // run_benches.sh leaves one metrics JSON per bench in bench_metrics/
 // (--metrics_out schema: {"metrics": {"name": {"type": "gauge", ...}}}).
-// bench_diff compares every gauge that appears in both a baseline and a
+// bench_diff compares every gauge in the baseline directory against the
 // candidate directory and prints per-gauge deltas:
 //
 //   bench_diff --baseline=DIR --candidate=DIR
@@ -15,78 +15,35 @@
 // (_us, _ms, _seconds, _p50/_p95/_p99) regress when they RISE. Gauges with
 // no recognizable direction are reported but never gate.
 //
-// Exit status: 0 = no gauge regressed beyond --threshold_pct, 1 = at least
-// one did (making it usable directly as a CI gate), 2 = usage/IO error.
+// A baseline file or gauge missing from the candidate directory is an
+// explicit failure, not a skip: a metric silently vanishing from a bench
+// almost always means lost coverage, and a gate that shrugs at it would
+// green-light exactly the regressions it exists to catch.
+//
+// Exit status: 0 = no gauge regressed beyond --threshold_pct and nothing is
+// missing from the candidate, 1 = at least one regression or missing
+// file/gauge (making it usable directly as a CI gate), 2 = usage/IO error.
 #include <dirent.h>
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "bench_diff_lib.h"
 #include "util/fileio.h"
 #include "util/flags.h"
-#include "util/string_util.h"
 
 namespace {
 
+using hosr::tools::DiffMetrics;
+using hosr::tools::DiffOptions;
+using hosr::tools::DiffResult;
+using hosr::tools::Direction;
+using hosr::tools::GaugeDelta;
 using hosr::util::Flags;
 using hosr::util::ReadFileToString;
-using hosr::util::StrFormat;
-
-enum class Direction { kHigherIsBetter, kLowerIsBetter, kUnknown };
-
-Direction DirectionFor(const std::string& name) {
-  static const char* kHigher[] = {"_qps",   "_gops",  "_speedup", "_per_sec",
-                                  "_rate",  "_flops", "recall",   "_map",
-                                  "ndcg",   "precision"};
-  static const char* kLower[] = {"_us",      "_ms",  "_ns",  "_seconds",
-                                 "_p50",     "_p95", "_p99", "latency",
-                                 "_penalty"};
-  for (const char* suffix : kHigher) {
-    if (name.find(suffix) != std::string::npos) {
-      return Direction::kHigherIsBetter;
-    }
-  }
-  for (const char* suffix : kLower) {
-    if (name.find(suffix) != std::string::npos) {
-      return Direction::kLowerIsBetter;
-    }
-  }
-  return Direction::kUnknown;
-}
-
-// Pulls every {"type": "gauge", "value": V} entry out of a registry dump
-// without a full JSON parser: the emitter (Registry::ToJson) writes one
-// key per entry as `"name": {"type": "gauge", "value": N}`.
-std::map<std::string, double> ExtractGauges(const std::string& json) {
-  std::map<std::string, double> gauges;
-  const std::string marker = "{\"type\": \"gauge\", \"value\": ";
-  size_t pos = 0;
-  while ((pos = json.find(marker, pos)) != std::string::npos) {
-    // The gauge's name is the quoted key immediately before the marker:
-    // ... "kernels/bench/dot_d64_best_gops": {"type": "gauge", ...
-    const size_t colon = json.rfind(':', pos);
-    if (colon == std::string::npos) break;
-    const size_t name_end = json.rfind('"', colon);
-    const size_t name_begin =
-        name_end == std::string::npos ? std::string::npos
-                                      : json.rfind('"', name_end - 1);
-    if (name_begin == std::string::npos) {
-      pos += marker.size();
-      continue;
-    }
-    const std::string name =
-        json.substr(name_begin + 1, name_end - name_begin - 1);
-    const double value = std::strtod(json.c_str() + pos + marker.size(),
-                                     nullptr);
-    gauges[name] = value;
-    pos += marker.size();
-  }
-  return gauges;
-}
 
 std::vector<std::string> ListJsonFiles(const std::string& dir) {
   std::vector<std::string> files;
@@ -103,6 +60,16 @@ std::vector<std::string> ListJsonFiles(const std::string& dir) {
   return files;
 }
 
+std::map<std::string, std::string> ReadMetricsDir(
+    const std::string& dir, const std::vector<std::string>& files) {
+  std::map<std::string, std::string> contents;
+  for (const std::string& file : files) {
+    auto json = ReadFileToString(dir + "/" + file);
+    if (json.ok()) contents[file] = std::move(json).value();
+  }
+  return contents;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,67 +82,48 @@ int main(int argc, char** argv) {
                  "[--threshold_pct=10] [--filter=SUBSTR]\n");
     return 2;
   }
-  const double threshold_pct = flags.GetDouble("threshold_pct", 10.0);
-  const std::string filter = flags.GetString("filter", "");
+  DiffOptions options;
+  options.threshold_pct = flags.GetDouble("threshold_pct", 10.0);
+  options.filter = flags.GetString("filter", "");
 
-  const std::vector<std::string> files = ListJsonFiles(baseline_dir);
-  if (files.empty()) {
+  const std::vector<std::string> baseline_files = ListJsonFiles(baseline_dir);
+  if (baseline_files.empty()) {
     std::fprintf(stderr, "error: no .json files in %s\n",
                  baseline_dir.c_str());
     return 2;
   }
+  const auto baseline = ReadMetricsDir(baseline_dir, baseline_files);
+  const auto candidate =
+      ReadMetricsDir(candidate_dir, ListJsonFiles(candidate_dir));
 
-  size_t compared = 0;
-  size_t regressions = 0;
-  for (const std::string& file : files) {
-    auto baseline_json = ReadFileToString(baseline_dir + "/" + file);
-    auto candidate_json = ReadFileToString(candidate_dir + "/" + file);
-    if (!baseline_json.ok()) continue;
-    if (!candidate_json.ok()) {
-      std::printf("%-28s missing from candidate dir, skipped\n",
-                  file.c_str());
-      continue;
-    }
-    const auto baseline = ExtractGauges(baseline_json.value());
-    const auto candidate = ExtractGauges(candidate_json.value());
-    for (const auto& [name, base_value] : baseline) {
-      if (!filter.empty() && name.find(filter) == std::string::npos) {
-        continue;
-      }
-      const auto it = candidate.find(name);
-      if (it == candidate.end()) continue;
-      const double cand_value = it->second;
-      ++compared;
-      const double delta_pct =
-          base_value != 0.0
-              ? (cand_value - base_value) / std::fabs(base_value) * 100.0
-              : (cand_value == 0.0 ? 0.0 : 100.0);
-      const Direction direction = DirectionFor(name);
-      bool regressed = false;
-      if (direction == Direction::kHigherIsBetter) {
-        regressed = delta_pct < -threshold_pct;
-      } else if (direction == Direction::kLowerIsBetter) {
-        regressed = delta_pct > threshold_pct;
-      }
-      if (regressed) ++regressions;
-      std::printf("%-14s %-44s %14.4g -> %14.4g  %+8.2f%%%s\n",
-                  file.c_str(), name.c_str(), base_value, cand_value,
-                  delta_pct,
-                  regressed ? "  REGRESSED"
-                            : (direction == Direction::kUnknown
-                                   ? "  (info only)"
-                                   : ""));
-    }
+  const DiffResult result = DiffMetrics(baseline, candidate, options);
+  for (const GaugeDelta& delta : result.deltas) {
+    std::printf("%-14s %-44s %14.4g -> %14.4g  %+8.2f%%%s\n",
+                delta.file.c_str(), delta.name.c_str(), delta.baseline,
+                delta.candidate, delta.delta_pct,
+                delta.regressed ? "  REGRESSED"
+                                : (delta.direction == Direction::kUnknown
+                                       ? "  (info only)"
+                                       : ""));
+  }
+  for (const std::string& file : result.missing_files) {
+    std::printf("%-14s MISSING from candidate dir\n", file.c_str());
+  }
+  for (const GaugeDelta& delta : result.missing_gauges) {
+    std::printf("%-14s %-44s %14.4g -> MISSING from candidate\n",
+                delta.file.c_str(), delta.name.c_str(), delta.baseline);
   }
 
-  std::printf("compared %zu gauges, %zu regression%s beyond %.1f%%\n",
-              compared, regressions, regressions == 1 ? "" : "s",
-              threshold_pct);
-  if (compared == 0) {
+  std::printf("compared %zu gauges, %zu regression%s beyond %.1f%%, "
+              "%zu missing\n",
+              result.compared, result.regressions,
+              result.regressions == 1 ? "" : "s", options.threshold_pct,
+              result.missing_files.size() + result.missing_gauges.size());
+  if (result.compared == 0 && !result.failed()) {
     std::fprintf(stderr,
                  "error: no overlapping gauges between %s and %s\n",
                  baseline_dir.c_str(), candidate_dir.c_str());
     return 2;
   }
-  return regressions > 0 ? 1 : 0;
+  return result.failed() ? 1 : 0;
 }

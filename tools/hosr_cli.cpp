@@ -8,8 +8,9 @@
 //             [--snapshot_out=FILE] [--train_state=FILE] [--resume]
 //             [--train_threads=N] [--train_slice=N] [--sparse_steps]
 //             [--train_prefetch=0]
-//             [--admin_port=N]  live /metricsz, /healthz, /varz on
-//                               127.0.0.1:N while training runs
+//             [--admin_port=N]  live /metricsz, /healthz, /varz, /profilez,
+//                               /timeseriez on 127.0.0.1:N while training
+//                               runs (starts the timeseries recorder too)
 //       Train a model on an on-disk dataset and save its parameters.
 //       --train_threads=N runs the deterministic parallel engine
 //       (docs/PERFORMANCE.md "Parallel training"): bit-identical to
@@ -32,6 +33,11 @@
 //   --trace_out=FILE        dump a Chrome trace_event JSON at exit
 //   --metrics_out=FILE      dump the metrics registry JSON at exit
 //   --metrics_interval=SECS background metrics snapshots every SECS seconds
+//   --profile_out=FILE      continuous sampling CPU profile: collapsed
+//                           stacks to FILE (+ FILE.summary.json) at exit
+//   --profile_hz=N          profiler sampling rate (default 99)
+//   --timeseries_out=FILE   windowed metric history (CRC-footed JSON) at exit
+//   --timeseries_interval=S timeseries snapshot cadence (default 1.0)
 //   --log_level=debug|info|warning|error
 // and the fault-injection flags (docs/ROBUSTNESS.md):
 //   --fault_spec=SPEC       arm deterministic fault injection points
@@ -59,6 +65,7 @@
 #include "models/trainer.h"
 #include "obs/admin_server.h"
 #include "obs/reporter.h"
+#include "obs/timeseries.h"
 #include "serve/snapshot.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -144,6 +151,18 @@ int RunTrain(const util::Flags& flags) {
   std::unique_ptr<obs::AdminServer> admin;
   const int admin_port = static_cast<int>(flags.GetInt("admin_port", -1));
   if (admin_port >= 0) {
+    // Give /timeseriez live history (idempotent if --timeseries_out
+    // already started the recorder via InitFromFlags).
+    if (!obs::TimeseriesRecorder::Global().running()) {
+      obs::TimeseriesRecorder::Options ts_options;
+      ts_options.snapshot_interval_s =
+          flags.GetDouble("timeseries_interval", 1.0);
+      if (auto status = obs::TimeseriesRecorder::Global().Start(ts_options);
+          !status.ok()) {
+        std::fprintf(stderr, "note: timeseries recorder: %s\n",
+                     status.ToString().c_str());
+      }
+    }
     admin = std::make_unique<obs::AdminServer>(
         obs::AdminServer::Options{.port = admin_port});
     if (auto status = admin->Start(); !status.ok()) return Fail(status);

@@ -60,8 +60,13 @@
 //              [--fault_seed=1]
 // live observability (docs/OBSERVABILITY.md):
 //              [--admin_port=N]            serve /metricsz /healthz /readyz
-//                                          /varz /tracez on 127.0.0.1:N
-//                                          (0 = kernel-assigned ephemeral)
+//                                          /varz /tracez /profilez
+//                                          /timeseriez on 127.0.0.1:N
+//                                          (0 = kernel-assigned ephemeral);
+//                                          also starts the timeseries
+//                                          recorder so /timeseriez has
+//                                          windowed history
+//              [--timeseries_interval=S]   recorder snapshot cadence (1.0)
 //              [--admin_port_file=FILE]    write the bound port (atomic) so
 //                                          scripts can find an ephemeral one
 //              [--flight_dir=DIR]          arm the flight recorder; dumps
@@ -74,7 +79,9 @@
 // shed (queue full), error. With --fault_spec the outcome of each request
 // is a pure function of its stream index, so two same-seed runs report
 // identical counts.
-// plus the standard observability flags (--metrics_out, --trace_out, ...).
+// plus the standard observability flags (--metrics_out, --trace_out,
+// --profile_out, --profile_hz, --timeseries_out, ... — see
+// obs/reporter.h).
 #include <algorithm>
 #include <chrono>
 #include <csignal>
@@ -95,6 +102,7 @@
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/reporter.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "serve/batcher.h"
 #include "serve/cache.h"
@@ -199,6 +207,17 @@ int main(int argc, char** argv) {
   const int admin_port = static_cast<int>(flags.GetInt("admin_port", -1));
   if (admin_port >= 0) {
     obs::SetEnabled(true);  // /tracez is only useful with capture on
+    // /timeseriez needs windowed history whether or not --timeseries_out
+    // was passed; skip if InitFromFlags already started the recorder.
+    if (!obs::TimeseriesRecorder::Global().running()) {
+      obs::TimeseriesRecorder::Options ts_options;
+      ts_options.snapshot_interval_s =
+          flags.GetDouble("timeseries_interval", 1.0);
+      if (auto status = obs::TimeseriesRecorder::Global().Start(ts_options);
+          !status.ok()) {
+        HOSR_LOG(Warning) << "timeseries recorder: " << status;
+      }
+    }
     admin = std::make_unique<obs::AdminServer>(
         obs::AdminServer::Options{.port = admin_port});
     if (auto status = admin->Start(); !status.ok()) return Fail(status);
